@@ -1,0 +1,86 @@
+// Ablation: flash-card cleaning policy (greedy lowest-utilization, as MFFS,
+// vs LFS/eNVy-style cost-benefit) and prefill mixing (segregated cold data
+// vs pessimally interleaved), across storage utilizations.
+//
+// Usage: bench_ablation_cleaning [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/trace/block_mapper.h"
+#include "src/trace/calibrated_workload.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void Run(double scale) {
+  std::printf("== Ablation: flash-card cleaning policy and cold-data mixing (scale %.2f) ==\n",
+              scale);
+  std::printf("(mac trace, Intel datasheet card)\n\n");
+
+  const Trace trace = GenerateNamedWorkload("mac", scale);
+  const BlockTrace blocks = BlockMapper::Map(trace);
+  const std::uint64_t capacity = RequiredCapacityBytes(blocks.total_bytes(), 0.40, 128 * 1024);
+
+  struct Variant {
+    const char* label;
+    CleaningPolicy policy;
+    bool interleave;
+    bool background;
+    bool separate_cleaning;
+  };
+  const std::vector<Variant> variants = {
+      {"greedy / segregated / background", CleaningPolicy::kGreedy, false, true, false},
+      {"cost-benefit / segregated / background", CleaningPolicy::kCostBenefit, false, true,
+       false},
+      {"wear-aware / segregated / background", CleaningPolicy::kWearAware, false, true,
+       false},
+      {"greedy + eNVy-style copy separation", CleaningPolicy::kGreedy, false, true, true},
+      {"greedy / interleaved / background", CleaningPolicy::kGreedy, true, true, false},
+      {"cost-benefit / interleaved / background", CleaningPolicy::kCostBenefit, true, true,
+       false},
+      {"greedy / interleaved + copy separation", CleaningPolicy::kGreedy, true, true, true},
+      {"greedy / segregated / on-demand", CleaningPolicy::kGreedy, false, false, false},
+  };
+
+  for (const double util : {0.80, 0.90, 0.95}) {
+    std::printf("-- utilization %.0f%% --\n", util * 100.0);
+    TablePrinter table({"Variant", "Energy (J)", "Write Mean (ms)", "Write Max", "Erases",
+                        "Blocks copied", "Max seg erases", "Erase sd"});
+    for (const Variant& variant : variants) {
+      SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+      config.flash_utilization = util;
+      config.capacity_bytes = capacity;
+      config.auto_capacity = false;
+      config.cleaning_policy = variant.policy;
+      config.interleave_prefill = variant.interleave;
+      config.background_cleaning = variant.background;
+      config.separate_cleaning_segment = variant.separate_cleaning;
+      const SimResult result = RunSimulation(blocks, config);
+      table.BeginRow()
+          .Cell(std::string(variant.label))
+          .Cell(result.total_energy_j(), 0)
+          .Cell(result.write_response_ms.mean(), 2)
+          .Cell(result.write_response_ms.max(), 0)
+          .Cell(static_cast<std::int64_t>(result.counters.segment_erases))
+          .Cell(static_cast<std::int64_t>(result.counters.blocks_copied))
+          .Cell(result.max_segment_erases, 0)
+          .Cell(result.counters.segment_erase_stats.stddev(), 2);
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: the paper's average-cost disk timing vs a detailed
+// geometry-based model (seek curve over cylinder distance + rotational
+// position tracking + head switches).
+//
+// Section 4.2 lists average seek/rotation among the simulator's simplifying
+// assumptions and section 5.1 attributes the cu140's 2x simulation-vs-
+// measurement write gap to "our optimistic assumption about avoiding
+// seeks".  This bench quantifies how much the simplification matters.
+//
+// Usage: bench_ablation_seek_model [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/device/geometric_disk.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void Run(double scale) {
+  std::printf("== Ablation: average-cost vs geometry-based disk timing (scale %.2f) ==\n\n",
+              scale);
+
+  for (const char* workload : {"mac", "dos", "hp"}) {
+    std::printf("-- %s trace --\n", workload);
+    TablePrinter table({"Drive", "Model", "Read Mean (ms)", "Read Max", "Write Mean (ms)",
+                        "Energy (J)"});
+    struct Drive {
+      DeviceSpec spec;
+      DiskGeometry geometry;
+    };
+    for (const Drive& drive : {Drive{Cu140Datasheet(), Cu140Geometry()},
+                               Drive{KittyhawkDatasheet(), KittyhawkGeometry()}}) {
+      for (const bool geometric : {false, true}) {
+        SimConfig config = MakePaperConfig(drive.spec, 2 * 1024 * 1024);
+        config.use_disk_geometry = geometric;
+        config.disk_geometry = drive.geometry;
+        const SimResult result = RunNamedWorkload(workload, config, scale);
+        table.BeginRow()
+            .Cell(drive.spec.name)
+            .Cell(std::string(geometric ? "geometry" : "average"))
+            .Cell(result.read_response_ms.mean(), 2)
+            .Cell(result.read_response_ms.max(), 0)
+            .Cell(result.write_response_ms.mean(), 2)
+            .Cell(result.total_energy_j(), 0);
+      }
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

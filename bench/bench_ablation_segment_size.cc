@@ -1,0 +1,70 @@
+// Ablation: flash-card erase-segment size.
+//
+// The paper's conclusion argues that the erasure unit, fixed by the
+// manufacturer, strongly influences file-system behaviour: large units
+// require low utilization, and flash "more like the flash disk emulator,
+// with small erasure units immune to storage-utilization effects, will
+// likely grow in popularity".  This bench sweeps the segment size (with
+// erase time scaled to keep erase bandwidth constant) at two utilizations.
+//
+// Usage: bench_ablation_segment_size [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/trace/block_mapper.h"
+#include "src/trace/calibrated_workload.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void Run(double scale) {
+  std::printf("== Ablation: flash-card erase-segment size (mac trace, scale %.2f) ==\n", scale);
+  std::printf("(erase time scaled with segment size: constant 80 KB/s erase bandwidth)\n\n");
+
+  const Trace trace = GenerateNamedWorkload("mac", scale);
+  const BlockTrace blocks = BlockMapper::Map(trace);
+
+  const std::vector<std::uint32_t> segment_kb = {8, 16, 32, 64, 128, 256};
+  for (const double util : {0.80, 0.95}) {
+    std::printf("-- utilization %.0f%% --\n", util * 100.0);
+    TablePrinter table({"Segment (KB)", "Energy (J)", "Write Mean (ms)", "Write Max",
+                        "Erases", "Blocks copied", "Stall time (s)"});
+    for (const std::uint32_t seg_kb : segment_kb) {
+      DeviceSpec spec = IntelCardDatasheet();
+      spec.erase_segment_bytes = seg_kb * 1024;
+      // Keep erase bandwidth at the Series 2's 128 KB / 1.6 s.
+      spec.erase_ms_per_segment = 1600.0 * seg_kb / 128.0;
+
+      SimConfig config = MakePaperConfig(spec, 2 * 1024 * 1024);
+      config.flash_utilization = util;
+      config.capacity_bytes =
+          RequiredCapacityBytes(blocks.total_bytes(), 0.40, 256 * 1024);
+      config.auto_capacity = false;
+      const SimResult result = RunSimulation(blocks, config);
+      table.BeginRow()
+          .Cell(static_cast<std::int64_t>(seg_kb))
+          .Cell(result.total_energy_j(), 0)
+          .Cell(result.write_response_ms.mean(), 2)
+          .Cell(result.write_response_ms.max(), 0)
+          .Cell(static_cast<std::int64_t>(result.counters.segment_erases))
+          .Cell(static_cast<std::int64_t>(result.counters.blocks_copied))
+          .Cell(SecFromUs(result.counters.stall_time_us), 2);
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

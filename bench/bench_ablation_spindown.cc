@@ -1,0 +1,65 @@
+// Ablation: disk spin-down threshold sweep.
+//
+// The paper fixes the threshold at 5 s, citing prior work (Douglis et al.
+// '94, Li et al. '94) that it balances energy against response time.  This
+// bench regenerates that trade-off curve for the cu140 on each trace:
+// energy falls and response rises as the threshold shrinks.
+//
+// Usage: bench_ablation_spindown [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void Run(double scale) {
+  const std::vector<double> thresholds_sec = {0.5, 1, 2, 5, 10, 30, 1e9};
+
+  std::printf("== Ablation: cu140 spin-down threshold (scale %.2f) ==\n\n", scale);
+  for (const char* workload : {"mac", "dos", "hp"}) {
+    std::printf("-- %s trace --\n", workload);
+    TablePrinter table({"Threshold (s)", "Energy (J)", "Read Mean (ms)", "Write Mean (ms)",
+                        "Spin-ups"});
+    for (const double threshold : thresholds_sec) {
+      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
+      config.spin_down_after_us = UsFromSec(threshold);
+      const SimResult result = RunNamedWorkload(workload, config, scale);
+      table.BeginRow()
+          .Cell(threshold >= 1e9 ? std::string("never") : TablePrinter::Format(threshold, 1))
+          .Cell(result.total_energy_j(), 0)
+          .Cell(result.read_response_ms.mean(), 2)
+          .Cell(result.write_response_ms.mean(), 2)
+          .Cell(static_cast<std::int64_t>(result.counters.spinups));
+    }
+    {
+      // The adaptive policy of the paper's reference [5]: starts at 5 s and
+      // floats between 0.5 s and 60 s based on sleep outcomes.
+      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
+      config.spin_down_policy = SpinDownPolicy::kAdaptive;
+      const SimResult result = RunNamedWorkload(workload, config, scale);
+      table.BeginRow()
+          .Cell(std::string("adaptive"))
+          .Cell(result.total_energy_j(), 0)
+          .Cell(result.read_response_ms.mean(), 2)
+          .Cell(result.write_response_ms.mean(), 2)
+          .Cell(static_cast<std::int64_t>(result.counters.spinups));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

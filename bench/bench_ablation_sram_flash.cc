@@ -1,0 +1,49 @@
+// Extension the paper proposes but does not evaluate (sections 5.1 and 7):
+// an SRAM write buffer in front of the flash devices.  "Adding SRAM to
+// flash should dramatically improve performance, except in situations
+// where flash performance is dominated by cleaning costs."
+//
+// Usage: bench_ablation_sram_flash [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void Run(double scale) {
+  std::printf("== Extension: SRAM write buffer in front of flash (scale %.2f) ==\n\n", scale);
+
+  for (const char* workload : {"mac", "dos", "hp"}) {
+    std::printf("-- %s trace --\n", workload);
+    TablePrinter table({"Device", "SRAM", "Write Mean (ms)", "Write Max", "Energy (J)"});
+    for (const DeviceSpec& spec : {Sdp5Datasheet(), IntelCardDatasheet()}) {
+      for (const std::uint64_t sram : {std::uint64_t{0}, std::uint64_t{32 * 1024}}) {
+        SimConfig config = MakePaperConfig(spec, 2 * 1024 * 1024);
+        config.sram_bytes = sram;  // MakePaperConfig zeroes SRAM for flash
+        const SimResult result = RunNamedWorkload(workload, config, scale);
+        table.BeginRow()
+            .Cell(spec.name)
+            .Cell(sram == 0 ? std::string("none") : std::string("32 KB"))
+            .Cell(result.write_response_ms.mean(), 2)
+            .Cell(result.write_response_ms.max(), 0)
+            .Cell(result.total_energy_j(), 0);
+      }
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

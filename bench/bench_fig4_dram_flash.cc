@@ -1,0 +1,120 @@
+// Reproduces Figure 4: energy consumption and average overall response time
+// as a function of DRAM buffer-cache size (0-4 MB) and flash size, for the
+// dos trace.  A system stores 32 MB of data on hypothetical flash devices of
+// 34-38 MB (utilization 94.1% down to 84.2%); the SunDisk SDP5 appears at
+// one size since its behaviour is utilization-independent.
+//
+// Usage: bench_fig4_dram_flash [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/trace/block_mapper.h"
+#include "src/trace/calibrated_workload.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+constexpr std::uint64_t kMb = 1024 * 1024;
+constexpr std::uint64_t kStoredData = 32 * kMb;
+
+void Run(double scale) {
+  std::printf("== Figure 4: DRAM size vs flash size, dos trace (scale %.2f) ==\n", scale);
+  std::printf("(paper: +1 MB flash on the Intel card cuts energy ~25%% and response ~18%%;\n");
+  std::printf(" adding DRAM to the Intel card only adds energy; the SDP5 gains nothing\n");
+  std::printf(" from either)\n\n");
+
+  const Trace trace = GenerateNamedWorkload("dos", scale);
+  const BlockTrace blocks = BlockMapper::Map(trace);
+  const std::vector<std::uint64_t> dram_sizes = {0, 512 * 1024, 1 * kMb, 2 * kMb, 3 * kMb,
+                                                 4 * kMb};
+  const std::vector<std::uint64_t> flash_sizes = {34 * kMb, 35 * kMb, 36 * kMb, 37 * kMb,
+                                                  38 * kMb};
+
+  auto utilization_for = [](std::uint64_t flash_bytes) {
+    return static_cast<double>(kStoredData) / static_cast<double>(flash_bytes);
+  };
+
+  TablePrinter energy({"Config", "DRAM 0", "DRAM 512K", "DRAM 1M", "DRAM 2M", "DRAM 3M",
+                       "DRAM 4M"});
+  TablePrinter response({"Config", "DRAM 0", "DRAM 512K", "DRAM 1M", "DRAM 2M", "DRAM 3M",
+                         "DRAM 4M"});
+
+  char label[96];
+  for (const std::uint64_t flash : flash_sizes) {
+    std::snprintf(label, sizeof(label), "Intel %lluMB (%.1f%%)",
+                  static_cast<unsigned long long>(flash / kMb),
+                  utilization_for(flash) * 100.0);
+    energy.BeginRow().Cell(std::string(label));
+    response.BeginRow().Cell(std::string(label));
+    for (const std::uint64_t dram : dram_sizes) {
+      SimConfig config = MakePaperConfig(IntelCardDatasheet(), dram);
+      config.capacity_bytes = flash;
+      config.auto_capacity = false;
+      config.flash_utilization = utilization_for(flash);
+      const SimResult result = RunSimulation(blocks, config);
+      energy.Cell(result.total_energy_j(), 0);
+      response.Cell(result.overall_response_ms.mean(), 2);
+    }
+  }
+
+  std::snprintf(label, sizeof(label), "SDP5 34MB (%.1f%%)", utilization_for(34 * kMb) * 100.0);
+  energy.BeginRow().Cell(std::string(label));
+  response.BeginRow().Cell(std::string(label));
+  for (const std::uint64_t dram : dram_sizes) {
+    SimConfig config = MakePaperConfig(Sdp5Datasheet(), dram);
+    config.capacity_bytes = 34 * kMb;
+    config.auto_capacity = false;
+    config.flash_utilization = utilization_for(34 * kMb);
+    const SimResult result = RunSimulation(blocks, config);
+    energy.Cell(result.total_energy_j(), 0);
+    response.Cell(result.overall_response_ms.mean(), 2);
+  }
+
+  std::printf("-- Figure 4(a): energy consumption (J) --\n");
+  energy.Print(std::cout);
+  std::printf("\n-- Figure 4(b): average overall response time (ms) --\n");
+  response.Print(std::cout);
+
+  // Section 5.4's mac-trace variant: with its higher read fraction, a small
+  // DRAM cache should help the SDP5 (fewer flash reads), while the Intel
+  // card benefits less.
+  std::printf("\n-- section 5.4 variant: mac trace, energy (J) --\n");
+  const Trace mac_trace = GenerateNamedWorkload("mac", scale);
+  const BlockTrace mac_blocks = BlockMapper::Map(mac_trace);
+  TablePrinter mac_energy({"Config", "DRAM 0", "DRAM 512K", "DRAM 1M", "DRAM 2M", "DRAM 3M",
+                           "DRAM 4M"});
+  struct MacRow {
+    DeviceSpec spec;
+    std::uint64_t flash;
+  };
+  for (const MacRow& row : {MacRow{IntelCardDatasheet(), 34 * kMb},
+                            MacRow{IntelCardDatasheet(), 38 * kMb},
+                            MacRow{Sdp5Datasheet(), 34 * kMb}}) {
+    std::snprintf(label, sizeof(label), "%s %lluMB", row.spec.name.c_str(),
+                  static_cast<unsigned long long>(row.flash / kMb));
+    mac_energy.BeginRow().Cell(std::string(label));
+    for (const std::uint64_t dram : dram_sizes) {
+      SimConfig config = MakePaperConfig(row.spec, dram);
+      config.capacity_bytes = row.flash;
+      config.auto_capacity = false;
+      config.flash_utilization = utilization_for(row.flash);
+      const SimResult result = RunSimulation(mac_blocks, config);
+      mac_energy.Cell(result.total_energy_j(), 0);
+    }
+  }
+  mac_energy.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

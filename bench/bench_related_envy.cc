@@ -1,0 +1,63 @@
+// Related system (section 6): eNVy-style non-volatile main-memory store
+// under a TPC-A-like transaction load, swept over flash storage
+// utilization.  Wu & Zwaenepoel report ~45% of time spent erasing/copying
+// at 80% utilization and severe degradation beyond it; this bench
+// regenerates that curve for our model.
+//
+// Usage: bench_related_envy [transactions]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/envy/envy_store.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void Run(std::uint64_t transactions) {
+  std::printf("== Related system: eNVy NVRAM+flash store, TPC-A-like load ==\n");
+  std::printf("(%llu transactions per point; paper-cited result: ~45%% of time\n",
+              static_cast<unsigned long long>(transactions));
+  std::printf(" erasing/copying at 80%% utilization, severe degradation above)\n\n");
+
+  TablePrinter table({"Utilization (%)", "TPS", "Cleaning time (%)", "Erases",
+                      "Pages copied", "Copies per flushed page"});
+  double tps50 = 0.0;
+  for (const double util : {0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95}) {
+    EnvyConfig config;
+    config.utilization = util;
+    EnvyStore store(config);
+    Rng rng(4242);
+    for (std::uint64_t i = 0; i < transactions; ++i) {
+      store.Transaction(rng);
+    }
+    if (util == 0.50) {
+      tps50 = store.tps();
+    }
+    const double flushed = static_cast<double>(transactions) * 3.0;
+    table.BeginRow()
+        .Cell(util * 100.0, 0)
+        .Cell(store.tps(), 0)
+        .Cell(store.cleaning_time_fraction() * 100.0, 1)
+        .Cell(static_cast<std::int64_t>(store.segment_erases()))
+        .Cell(static_cast<std::int64_t>(store.pages_copied()))
+        .Cell(static_cast<double>(store.pages_copied()) / flushed, 2);
+    if (util == 0.95 && tps50 > 0.0) {
+      std::printf("95%% vs 50%% utilization: throughput x%.2f\n", store.tps() / tps50);
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const std::uint64_t transactions =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  mobisim::Run(transactions);
+  return 0;
+}

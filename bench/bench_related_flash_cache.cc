@@ -1,0 +1,153 @@
+// Related system (section 6): flash memory as a cache for disk blocks
+// (Marsh, Douglis & Krishnan, HICSS '94).  A flash card between the DRAM
+// cache and the disk absorbs reads and writes so the disk can stay spun
+// down; this bench sweeps the flash cache size and compares against the
+// plain disk and the all-flash organizations.
+//
+// Usage: bench_related_flash_cache [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/fcache/flash_cache_system.h"
+#include "src/trace/block_mapper.h"
+#include "src/trace/calibrated_workload.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+struct RunStats {
+  double energy_j = 0.0;
+  double read_ms = 0.0;
+  double write_ms = 0.0;
+  std::uint64_t spinups = 0;
+  double flash_hit_rate = 0.0;
+};
+
+RunStats RunFlashCache(const BlockTrace& trace, std::uint64_t flash_bytes,
+                       std::uint64_t dram_bytes, SimTime spin_down_us) {
+  FlashCacheConfig config;
+  config.flash_bytes = flash_bytes;
+  config.dram_bytes = dram_bytes;
+  config.block_bytes = trace.block_bytes;
+  config.spin_down_after_us = spin_down_us;
+  config.disk_capacity_bytes =
+      std::max<std::uint64_t>(trace.total_bytes(), 40ull * 1024 * 1024);
+  FlashCacheSystem system(config);
+
+  RunningStats reads;
+  RunningStats writes;
+  const std::uint64_t warm = trace.records.size() / 10;
+  for (std::uint64_t i = 0; i < trace.records.size(); ++i) {
+    const BlockRecord& rec = trace.records[i];
+    const SimTime response = system.Handle(rec);
+    if (i >= warm) {
+      if (rec.op == OpType::kRead) {
+        reads.Add(MsFromUs(response));
+      } else if (rec.op == OpType::kWrite) {
+        writes.Add(MsFromUs(response));
+      }
+    }
+  }
+  system.Finish(trace.records.back().time_us);
+
+  RunStats stats;
+  stats.energy_j = system.total_energy_j();
+  stats.read_ms = reads.mean();
+  stats.write_ms = writes.mean();
+  stats.spinups = system.disk_counters().spinups;
+  const std::uint64_t lookups = system.flash_hits() + system.flash_misses();
+  stats.flash_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(system.flash_hits()) / static_cast<double>(lookups);
+  return stats;
+}
+
+void Run(double scale) {
+  std::printf("== Related system: flash as a disk-block cache (scale %.2f) ==\n", scale);
+  std::printf("(expected: more flash cache => fewer disk spin-ups and less energy,\n");
+  std::printf(" approaching the all-flash organizations)\n\n");
+
+  const std::vector<std::uint64_t> sizes = {1, 2, 4, 8, 16};
+  // The architecture targets aggressive disk power management, where spin-up
+  // cost dominates; run both the paper's 5-s threshold and a 1-s one.
+  const std::vector<double> thresholds_sec = {5.0, 1.0};
+  // synth's 6-MB dataset fits entirely in the larger flash caches -- the
+  // regime the architecture is designed for; mac and hp have working sets
+  // far beyond any cache here, so compulsory misses keep the disk busy.
+  for (const char* workload : {"synth", "mac", "hp"}) {
+    const Trace trace = GenerateNamedWorkload(workload, scale);
+    const BlockTrace blocks = BlockMapper::Map(trace);
+    for (const double threshold_sec : thresholds_sec) {
+    const SimTime spin_down_us = UsFromSec(threshold_sec);
+
+    std::printf("-- %s trace, %.0f-s spin-down --\n", workload, threshold_sec);
+    TablePrinter table({"Organization", "Energy (J)", "Read Mean (ms)", "Write Mean (ms)",
+                        "Disk spin-ups", "Flash hit rate"});
+
+    // Baselines: plain disk without the SRAM buffer (the architecture Marsh
+    // et al. compared against) and with it (the stronger alternative).
+    for (const std::uint64_t sram : {std::uint64_t{0}, std::uint64_t{32 * 1024}}) {
+      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024, sram);
+      config.spin_down_after_us = spin_down_us;
+      if (std::string(workload) == "hp") {
+        config.dram_bytes = 0;
+      }
+      const SimResult result = RunSimulation(blocks, config);
+      table.BeginRow()
+          .Cell(std::string(sram == 0 ? "disk alone (Marsh baseline)" : "disk + 32-KB SRAM"))
+          .Cell(result.total_energy_j(), 0)
+          .Cell(result.read_response_ms.mean(), 2)
+          .Cell(result.write_response_ms.mean(), 2)
+          .Cell(static_cast<std::int64_t>(result.counters.spinups))
+          .Cell(std::string("-"));
+    }
+    const std::uint64_t dram_bytes =
+        std::string(workload) == "hp" ? 0 : 2ull * 1024 * 1024;
+    for (const std::uint64_t mb : sizes) {
+      const RunStats stats =
+          RunFlashCache(blocks, mb * 1024 * 1024, dram_bytes, spin_down_us);
+      char label[48];
+      std::snprintf(label, sizeof(label), "disk + %llu-MB flash cache",
+                    static_cast<unsigned long long>(mb));
+      table.BeginRow()
+          .Cell(std::string(label))
+          .Cell(stats.energy_j, 0)
+          .Cell(stats.read_ms, 2)
+          .Cell(stats.write_ms, 2)
+          .Cell(static_cast<std::int64_t>(stats.spinups))
+          .Cell(stats.flash_hit_rate, 2);
+    }
+    // Upper bound: all-flash.
+    {
+      SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+      if (std::string(workload) == "hp") {
+        config.dram_bytes = 0;
+      }
+      const SimResult result = RunSimulation(blocks, config);
+      table.BeginRow()
+          .Cell(std::string("all-flash card"))
+          .Cell(result.total_energy_j(), 0)
+          .Cell(result.read_response_ms.mean(), 2)
+          .Cell(result.write_response_ms.mean(), 2)
+          .Cell(static_cast<std::int64_t>(0))
+          .Cell(std::string("-"));
+    }
+    table.Print(std::cout);
+    std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

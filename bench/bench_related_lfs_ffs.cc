@@ -1,0 +1,106 @@
+// Related system (section 6): the log-structured flash file system of
+// Kawaguchi et al., run head-to-head against MFFS 2.00 on the paper's
+// section-3 micro-benchmarks.  The paper's conclusion predicts exactly this
+// comparison: "Newer versions of the Microsoft Flash File System should
+// address the degradation imposed by large files."
+//
+// Usage: bench_related_lfs_ffs
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/mffs/lfs_ffs.h"
+#include "src/mffs/microbench.h"
+#include "src/mffs/testbed_device.h"
+#include "src/util/rng.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+constexpr std::uint32_t kChunk = 4 * 1024;
+constexpr std::uint64_t kMb = 1024 * 1024;
+
+void Run() {
+  std::printf("== Related system: MFFS 2.00 vs log-structured flash FS ==\n\n");
+
+  // Table-1-style throughput, random (incompressible) data.
+  {
+    TablePrinter table({"File system", "Read 4KB-file", "Read 1MB-file", "Write 4KB-file",
+                        "Write 1MB-file"});
+    MffsTestbedDevice mffs(DefaultMffsConfig());
+    LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+    for (TestbedDevice* device : {static_cast<TestbedDevice*>(&mffs),
+                                  static_cast<TestbedDevice*>(&lfs)}) {
+      device->Format();
+      const double w4 =
+          BenchWriteFiles(*device, 4 * 1024, kChunk, 2 * kMb, 1.0).throughput_kbps();
+      const double r4 =
+          BenchReadFiles(*device, 4 * 1024, kChunk, 2 * kMb, 1.0).throughput_kbps();
+      device->Format();
+      const double w1m = BenchWriteFiles(*device, kMb, kChunk, 2 * kMb, 1.0).throughput_kbps();
+      const double r1m = BenchReadFiles(*device, kMb, kChunk, 2 * kMb, 1.0).throughput_kbps();
+      table.BeginRow()
+          .Cell(device->name())
+          .Cell(r4, 0)
+          .Cell(r1m, 0)
+          .Cell(w4, 0)
+          .Cell(w1m, 0);
+    }
+    std::printf("-- Table-1-style throughput (KB/s, incompressible data) --\n");
+    table.Print(std::cout);
+  }
+
+  // Figure-1-style latency growth across a 1-MB file.
+  {
+    MffsTestbedDevice mffs(DefaultMffsConfig());
+    LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+    const MicroBenchResult mffs_result = BenchWriteFiles(mffs, kMb, kChunk, kMb, 1.0);
+    const MicroBenchResult lfs_result = BenchWriteFiles(lfs, kMb, kChunk, kMb, 1.0);
+    std::printf("\n-- Figure-1-style latency growth over a 1-MB file --\n");
+    std::printf("MFFS 2.00 : %.1f ms -> %.1f ms (%.1fx)\n", mffs_result.latency_ms.front(),
+                mffs_result.latency_ms.back(),
+                mffs_result.latency_ms.back() / mffs_result.latency_ms.front());
+    std::printf("LFS FFS   : %.1f ms -> %.1f ms (%.1fx)\n", lfs_result.latency_ms.front(),
+                lfs_result.latency_ms.back(),
+                lfs_result.latency_ms.back() / lfs_result.latency_ms.front());
+  }
+
+  // Figure-3-style overwrite pressure at high live-data volume.
+  {
+    std::printf("\n-- Figure-3-style: 10 x 1-MB random overwrites, 9 MB live --\n");
+    TablePrinter table({"File system", "First pass (KB/s)", "Last pass (KB/s)",
+                        "Copies", "Erases"});
+    {
+      MffsTestbedDevice mffs(DefaultMffsConfig());
+      Rng rng(7);
+      const auto curve = BenchOverwritePasses(mffs, 9 * kMb, kMb, kChunk, 10, 1.0, rng);
+      table.BeginRow()
+          .Cell(mffs.name())
+          .Cell(curve.front(), 1)
+          .Cell(curve.back(), 1)
+          .Cell(static_cast<std::int64_t>(mffs.cleaning_copies()))
+          .Cell(static_cast<std::int64_t>(mffs.segment_erases()));
+    }
+    {
+      LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+      Rng rng(7);
+      const auto curve = BenchOverwritePasses(lfs, 9 * kMb, kMb, kChunk, 10, 1.0, rng);
+      table.BeginRow()
+          .Cell(lfs.name())
+          .Cell(curve.front(), 1)
+          .Cell(curve.back(), 1)
+          .Cell(static_cast<std::int64_t>(lfs.cleaning_copies()))
+          .Cell(static_cast<std::int64_t>(lfs.segment_erases()));
+    }
+    table.Print(std::cout);
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main() {
+  mobisim::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces Table 1: measured throughput of the three storage devices on
+// the OmniBook testbed, for 4-Kbyte reads and writes to 4-Kbyte and 1-Mbyte
+// files, with and without compression.
+//
+// The "devices" here are the section-3 testbed behaviour models
+// (src/mffs/testbed_device.h), which include the DOS file-system and
+// compression software costs the paper measured -- most notably MFFS 2.00's
+// linearly-degrading writes.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "src/device/device_catalog.h"
+#include "src/mffs/microbench.h"
+#include "src/mffs/testbed_device.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+constexpr std::uint32_t kChunk = 4 * 1024;
+constexpr std::uint64_t kSmallFile = 4 * 1024;
+constexpr std::uint64_t kLargeFile = 1024 * 1024;
+// Total volume per measurement (many small files / a few large ones).
+constexpr std::uint64_t kVolume = 2 * 1024 * 1024;
+
+CompressionModel DoubleSpace() {
+  CompressionModel c;
+  c.enabled = true;
+  c.ratio = 0.5;
+  c.compress_kbps = 260.0;
+  c.decompress_kbps = 1000.0;
+  c.open_overhead_ms = 25.0;
+  return c;
+}
+
+CompressionModel Stacker() {
+  CompressionModel c;
+  c.enabled = true;
+  c.ratio = 0.5;
+  c.compress_kbps = 260.0;
+  c.decompress_kbps = 500.0;
+  c.open_overhead_ms = 0.0;
+  c.chunk_overhead_ms = 48.0;
+  return c;
+}
+
+struct Cell {
+  double read_small, read_large, write_small, write_large;
+};
+
+Cell Measure(TestbedDevice& device, double data_ratio) {
+  Cell cell{};
+  device.Format();
+  cell.write_small = BenchWriteFiles(device, kSmallFile, kChunk, kVolume, data_ratio)
+                         .throughput_kbps();
+  cell.read_small = BenchReadFiles(device, kSmallFile, kChunk, kVolume, data_ratio)
+                        .throughput_kbps();
+  device.Format();
+  cell.write_large = BenchWriteFiles(device, kLargeFile, kChunk, kVolume, data_ratio)
+                         .throughput_kbps();
+  cell.read_large = BenchReadFiles(device, kLargeFile, kChunk, kVolume, data_ratio)
+                        .throughput_kbps();
+  return cell;
+}
+
+void PrintTable() {
+  std::printf("== Table 1: measured throughput (KB/s) on the testbed models ==\n");
+  std::printf("Paper: cu140 R 116/543 W 76/231 | compressed R 64/543 W 289/146\n");
+  std::printf("       sdp10 R 280/410 W 39/40  | compressed R 218/246 W 225/35\n");
+  std::printf("       intel R 645/37  W 43/21  | compressed R 345/34  W 83/27\n\n");
+
+  TablePrinter table({"Device", "Mode", "Read 4KB-file", "Read 1MB-file", "Write 4KB-file",
+                      "Write 1MB-file"});
+
+  const CompressionModel off{};
+  SimpleTestbedDevice cu_raw(Cu140Measured(), off);
+  SimpleTestbedDevice cu_comp(Cu140Measured(), DoubleSpace());
+  SimpleTestbedDevice sdp_raw(Sdp10Measured(), off);
+  SimpleTestbedDevice sdp_comp(Sdp10Measured(), Stacker());
+  MffsTestbedDevice intel(DefaultMffsConfig());
+
+  struct RowSpec {
+    TestbedDevice* device;
+    const char* label;
+    const char* mode;
+    double ratio;  // payload compressibility (1.0 = random data)
+  };
+  const RowSpec rows[] = {
+      {&cu_raw, "Caviar cu140", "uncompressed", 1.0},
+      {&cu_comp, "Caviar cu140", "DoubleSpace", 0.5},
+      {&sdp_raw, "SunDisk sdp10", "uncompressed", 1.0},
+      {&sdp_comp, "SunDisk sdp10", "Stacker", 0.5},
+      {&intel, "Intel card (MFFS 2.00)", "random data", 1.0},
+      {&intel, "Intel card (MFFS 2.00)", "compressible", 0.5},
+  };
+  for (const RowSpec& row : rows) {
+    const Cell cell = Measure(*row.device, row.ratio);
+    table.BeginRow()
+        .Cell(std::string(row.label))
+        .Cell(std::string(row.mode))
+        .Cell(cell.read_small, 0)
+        .Cell(cell.read_large, 0)
+        .Cell(cell.write_small, 0)
+        .Cell(cell.write_large, 0);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main() {
+  mobisim::PrintTable();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Reproduces Table 2: manufacturer specifications for the three storage
+// devices, as encoded in the device catalog (src/device/device_catalog.cc).
+#include <cstdio>
+#include <iostream>
+
+#include "src/device/device_catalog.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void PrintSpecs() {
+  std::printf("== Table 2: manufacturers' specifications ==\n");
+  TablePrinter table({"Device", "Operation", "Latency (ms)", "Throughput (KB/s)", "Power (W)"});
+
+  const DeviceSpec disk = Cu140Datasheet();
+  table.BeginRow().Cell(std::string("Caviar Ultralite cu140")).Cell(std::string("Read/Write"))
+      .Cell(disk.read_overhead_ms, 1).Cell(disk.read_kbps, 0).Cell(disk.read_w, 2);
+  table.BeginRow().Cell(std::string("")).Cell(std::string("Idle"))
+      .Cell(std::string("-")).Cell(std::string("-")).Cell(disk.idle_w, 2);
+  table.BeginRow().Cell(std::string("")).Cell(std::string("Spin up"))
+      .Cell(disk.spinup_ms, 1).Cell(std::string("-")).Cell(disk.spinup_w, 2);
+
+  const DeviceSpec flash_disk = Sdp10Datasheet();
+  table.BeginRow().Cell(std::string("SunDisk sdp10")).Cell(std::string("Read"))
+      .Cell(flash_disk.read_overhead_ms, 1).Cell(flash_disk.read_kbps, 0)
+      .Cell(flash_disk.read_w, 2);
+  table.BeginRow().Cell(std::string("")).Cell(std::string("Write (erase coupled)"))
+      .Cell(flash_disk.write_overhead_ms, 1).Cell(flash_disk.write_kbps, 0)
+      .Cell(flash_disk.write_w, 2);
+
+  const DeviceSpec card = IntelCardDatasheet();
+  const double erase_kbps = static_cast<double>(card.erase_segment_bytes) / 1024.0 /
+                            (card.erase_ms_per_segment / 1000.0);
+  table.BeginRow().Cell(std::string("Intel flash card")).Cell(std::string("Read"))
+      .Cell(card.read_overhead_ms, 1).Cell(card.read_kbps, 0).Cell(card.read_w, 2);
+  table.BeginRow().Cell(std::string("")).Cell(std::string("Write (pre-erased)"))
+      .Cell(card.write_overhead_ms, 1).Cell(card.write_kbps, 0).Cell(card.write_w, 2);
+  table.BeginRow().Cell(std::string("")).Cell(std::string("Erase (per 128-KB segment)"))
+      .Cell(card.erase_ms_per_segment, 0).Cell(erase_kbps, 0).Cell(card.erase_w, 2);
+
+  table.Print(std::cout);
+
+  std::printf("\nDerived / newer parts used elsewhere in the study:\n");
+  TablePrinter extra({"Device", "Read KB/s", "Write KB/s", "Erase KB/s", "Pre-erased write KB/s",
+                      "Endurance (cycles)"});
+  for (const DeviceSpec& spec :
+       {Sdp5Datasheet(), Sdp5aDatasheet(), IntelSeries2PlusDatasheet()}) {
+    extra.BeginRow()
+        .Cell(spec.name)
+        .Cell(spec.read_kbps, 0)
+        .Cell(spec.write_kbps, 0)
+        .Cell(spec.erase_kbps, 0)
+        .Cell(spec.pre_erased_write_kbps, 0)
+        .Cell(static_cast<std::int64_t>(spec.endurance_cycles));
+  }
+  extra.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main() {
+  mobisim::PrintSpecs();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table 3: characteristics of the (synthetic stand-ins for the)
+// mac, dos, and hp traces.  Statistics are computed over the 90% of each
+// trace simulated after the warm start, as in the paper.
+//
+// Usage: bench_table3_traces [scale]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/trace/calibrated_workload.h"
+#include "src/trace/trace_stats.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+void PrintTable(double scale) {
+  std::printf("== Table 3: trace characteristics (scale %.2f) ==\n", scale);
+  std::printf("Paper targets: mac 12600s/22000KB/0.50/1KB/1.3/1.2/(0.078,90.8,0.57)\n");
+  std::printf("               dos  5400s/16300KB/0.24/.5KB/3.8/3.4/(0.528,713,10.8)\n");
+  std::printf("               hp 380160s/32000KB/0.38/1KB/4.3/6.2/(11.1,1800,112.3)\n\n");
+
+  TablePrinter table({"Trace", "Duration (s)", "Distinct KB", "Read frac", "Block (KB)",
+                      "Mean read (blk)", "Mean write (blk)", "Gap mean (s)", "Gap max",
+                      "Gap sd"});
+  for (const char* name : {"mac", "dos", "hp"}) {
+    const Trace trace = GenerateNamedWorkload(name, scale);
+    const TraceStats stats = ComputeTraceStats(trace, /*skip_fraction=*/0.1);
+    table.BeginRow()
+        .Cell(std::string(name))
+        .Cell(stats.duration_sec, 0)
+        .Cell(static_cast<std::int64_t>(stats.distinct_kbytes))
+        .Cell(stats.read_fraction, 2)
+        .Cell(static_cast<double>(stats.block_bytes) / 1024.0, 1)
+        .Cell(stats.read_blocks.mean(), 2)
+        .Cell(stats.write_blocks.mean(), 2)
+        .Cell(stats.interarrival_sec.mean(), 3)
+        .Cell(stats.interarrival_sec.max(), 1)
+        .Cell(stats.interarrival_sec.stddev(), 2);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  mobisim::PrintTable(scale > 0.0 ? scale : 1.0);
+  return 0;
+}

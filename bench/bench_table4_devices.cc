@@ -1,0 +1,92 @@
+// Reproduces Table 4 of Douglis et al. (OSDI '94): energy consumption and
+// read/write response time for seven device configurations across the mac,
+// dos, and hp traces.
+//
+// Setup mirrors the paper: 2-Mbyte DRAM buffer cache for mac and dos, none
+// for hp; disks spin down after 5 s of inactivity and carry a 32-Kbyte SRAM
+// write buffer; flash simulations run at 80% storage utilization.
+//
+// Usage: bench_table4_devices [scale]
+//   scale in (0, 1] shrinks the workloads for quick runs (default 1.0).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+struct Row {
+  DeviceSpec spec;
+  const char* label;
+};
+
+std::vector<Row> Table4Devices() {
+  return {
+      {Cu140Measured(), "cu140 measured"},
+      {Cu140Datasheet(), "cu140 datasheet"},
+      {KittyhawkDatasheet(), "kh datasheet"},
+      {Sdp10Measured(), "sdp10 measured"},
+      {Sdp5Datasheet(), "sdp5 datasheet"},
+      {IntelCardMeasured(), "Intel flash card measured"},
+      {IntelCardDatasheet(), "Intel flash card datasheet"},
+  };
+}
+
+void RunTrace(const std::string& workload, double scale) {
+  std::printf("\nTable 4 (%s trace)%s\n", workload.c_str(),
+              workload == "hp" ? "  [no DRAM cache]" : "  [2-Mbyte DRAM cache]");
+  TablePrinter table({"Device", "Energy (J)", "Read Mean (ms)", "Read Max", "Read sd",
+                      "Write Mean (ms)", "Write Max", "Write sd"});
+  TablePrinter percentiles({"Device", "Read p50", "Read p95", "Read p99", "Write p50",
+                            "Write p95", "Write p99"});
+  for (const Row& row : Table4Devices()) {
+    SimConfig config = MakePaperConfig(row.spec, 2 * 1024 * 1024);
+    const SimResult result = RunNamedWorkload(workload, config, scale);
+    table.BeginRow()
+        .Cell(std::string(row.label))
+        .Cell(result.total_energy_j(), 0)
+        .Cell(result.read_response_ms.mean(), 2)
+        .Cell(result.read_response_ms.max(), 1)
+        .Cell(result.read_response_ms.stddev(), 1)
+        .Cell(result.write_response_ms.mean(), 2)
+        .Cell(result.write_response_ms.max(), 1)
+        .Cell(result.write_response_ms.stddev(), 1);
+    percentiles.BeginRow()
+        .Cell(std::string(row.label))
+        .Cell(result.read_percentiles_ms.Quantile(0.50), 2)
+        .Cell(result.read_percentiles_ms.Quantile(0.95), 2)
+        .Cell(result.read_percentiles_ms.Quantile(0.99), 2)
+        .Cell(result.write_percentiles_ms.Quantile(0.50), 2)
+        .Cell(result.write_percentiles_ms.Quantile(0.95), 2)
+        .Cell(result.write_percentiles_ms.Quantile(0.99), 2);
+  }
+  table.Print(std::cout);
+  std::printf("(response-time percentiles, ms)\n");
+  percentiles.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace mobisim
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  if (argc > 1) {
+    scale = std::atof(argv[1]);
+    if (scale <= 0.0 || scale > 1.0) {
+      std::fprintf(stderr, "scale must be in (0, 1]\n");
+      return 1;
+    }
+  }
+  std::printf("== Table 4: energy and response time by device and trace (scale %.2f) ==\n",
+              scale);
+  for (const char* workload : {"mac", "dos", "hp"}) {
+    mobisim::RunTrace(workload, scale);
+  }
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Full command-line driver: run any simulator configuration against any
+// workload (generated or loaded from a trace file) and print the results.
+//
+//   mobisim_cli [--config FILE] [key=value ...] [--workload NAME|--trace FILE]
+//               [--scale S] [--csv]
+//
+// key=value settings are the ones documented in src/core/config_text.h, e.g.
+//   mobisim_cli device=intel-datasheet utilization=0.95 --workload mac
+//   mobisim_cli device=cu140-datasheet sram=32k spin_down=2 --workload hp
+//   mobisim_cli --config experiment.cfg --trace /tmp/mytrace.trc
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/config_text.h"
+#include "src/core/simulator.h"
+#include "src/trace/block_mapper.h"
+#include "src/trace/calibrated_workload.h"
+#include "src/trace/external_formats.h"
+#include "src/trace/trace_io.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace mobisim;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mobisim_cli [--config FILE] [key=value ...]\n"
+               "                   [--workload mac|dos|hp|synth | --trace FILE\n"
+               "                    | --hpl-trace FILE | --disksim-trace FILE]\n"
+               "                   [--scale S] [--csv]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+  std::string workload = "mac";
+  std::string trace_path;
+  std::string hpl_path;
+  std::string disksim_path;
+  double scale = 1.0;
+  bool csv = false;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // First: --config files (applied in order), then key=value overrides.
+  std::vector<std::string> remaining;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--config") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      std::ifstream in(args[++i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open config %s\n", args[i].c_str());
+        return 1;
+      }
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      std::string error;
+      const auto parsed = ParseConfigText(buffer.str(), &error);
+      if (!parsed) {
+        std::fprintf(stderr, "config error: %s\n", error.c_str());
+        return 1;
+      }
+      config = *parsed;
+    } else if (args[i] == "--workload") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      workload = args[++i];
+    } else if (args[i] == "--trace") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      trace_path = args[++i];
+    } else if (args[i] == "--hpl-trace") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      hpl_path = args[++i];
+    } else if (args[i] == "--disksim-trace") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      disksim_path = args[++i];
+    } else if (args[i] == "--scale") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      scale = std::atof(args[++i].c_str());
+    } else if (args[i] == "--csv") {
+      csv = true;
+    } else {
+      remaining.push_back(args[i]);
+    }
+  }
+  std::string error;
+  const std::vector<std::string> unknown = ApplyConfigArgs(&config, remaining, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  for (const std::string& token : unknown) {
+    std::fprintf(stderr, "error: unrecognised argument '%s'\n", token.c_str());
+    return Usage();
+  }
+
+  // Build the block-level workload.
+  BlockTrace blocks;
+  if (!hpl_path.empty() || !disksim_path.empty()) {
+    std::ifstream in(hpl_path.empty() ? disksim_path : hpl_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace %s\n",
+                   (hpl_path.empty() ? disksim_path : hpl_path).c_str());
+      return 1;
+    }
+    const auto imported = hpl_path.empty()
+                              ? ImportDiskSimTrace(in, DiskSimImportOptions{}, &error)
+                              : ImportHplTrace(in, HplImportOptions{}, &error);
+    if (!imported) {
+      std::fprintf(stderr, "import error: %s\n", error.c_str());
+      return 1;
+    }
+    blocks = *imported;
+    // Disk-level traces carry an implicit buffer cache (like the paper's hp
+    // trace); simulate without one.
+    config.dram_bytes = 0;
+  } else if (!trace_path.empty()) {
+    const auto trace = ReadTraceFile(trace_path, &error);
+    if (!trace) {
+      std::fprintf(stderr, "trace error: %s\n", error.c_str());
+      return 1;
+    }
+    blocks = BlockMapper::Map(*trace);
+  } else {
+    const Trace trace = GenerateNamedWorkload(workload, scale);
+    blocks = BlockMapper::Map(trace);
+    if (workload == "hp") {
+      config.dram_bytes = 0;  // the paper's methodology for hp
+    }
+  }
+
+  std::printf("mobisim: %s | workload %s (%zu block records)\n",
+              DescribeConfig(config).c_str(),
+              trace_path.empty() ? workload.c_str() : trace_path.c_str(),
+              blocks.records.size());
+
+  const SimResult result = RunSimulation(blocks, config);
+
+  TablePrinter table({"Metric", "Value"});
+  table.BeginRow().Cell(std::string("energy total (J)")).Cell(result.total_energy_j(), 1);
+  table.BeginRow().Cell(std::string("  device (J)")).Cell(result.device_energy_j, 1);
+  table.BeginRow().Cell(std::string("  DRAM (J)")).Cell(result.dram_energy_j, 1);
+  table.BeginRow().Cell(std::string("  SRAM (J)")).Cell(result.sram_energy_j, 1);
+  table.BeginRow().Cell(std::string("read mean (ms)")).Cell(result.read_response_ms.mean(), 3);
+  table.BeginRow().Cell(std::string("read p95 (ms)"))
+      .Cell(result.read_percentiles_ms.Quantile(0.95), 3);
+  table.BeginRow().Cell(std::string("read max (ms)")).Cell(result.read_response_ms.max(), 1);
+  table.BeginRow().Cell(std::string("write mean (ms)"))
+      .Cell(result.write_response_ms.mean(), 3);
+  table.BeginRow().Cell(std::string("write p95 (ms)"))
+      .Cell(result.write_percentiles_ms.Quantile(0.95), 3);
+  table.BeginRow().Cell(std::string("write max (ms)")).Cell(result.write_response_ms.max(), 1);
+  table.BeginRow().Cell(std::string("disk spin-ups"))
+      .Cell(static_cast<std::int64_t>(result.counters.spinups));
+  table.BeginRow().Cell(std::string("segment erases"))
+      .Cell(static_cast<std::int64_t>(result.counters.segment_erases));
+  table.BeginRow().Cell(std::string("blocks copied (cleaning)"))
+      .Cell(static_cast<std::int64_t>(result.counters.blocks_copied));
+  table.BeginRow().Cell(std::string("max segment erases")).Cell(result.max_segment_erases, 0);
+  table.BeginRow().Cell(std::string("DRAM hit rate"))
+      .Cell(result.dram_hits + result.dram_misses == 0
+                ? 0.0
+                : static_cast<double>(result.dram_hits) /
+                      static_cast<double>(result.dram_hits + result.dram_misses),
+            3);
+  for (const auto& [mode, seconds] : result.device_mode_seconds) {
+    table.BeginRow().Cell("device " + mode + " (s)").Cell(seconds, 1);
+  }
+  if (csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+  std::printf("device energy: %s\n", result.device_energy_breakdown.c_str());
+  return 0;
+}

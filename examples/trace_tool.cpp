@@ -1,0 +1,188 @@
+// Trace utility: generate the paper's workloads, save/load them in the
+// mobisim text format, and print Table-3-style statistics.
+//
+//   ./trace_tool gen <mac|dos|hp|synth> <out.trc> [scale] [seed]
+//   ./trace_tool stats <in.trc>
+//   ./trace_tool head <in.trc> [n]
+//   ./trace_tool filter <in.trc> <out.trc> <reads|writes|file:ID>
+//   ./trace_tool timescale <in.trc> <out.trc> <factor>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/trace/calibrated_workload.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_stats.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace mobisim;
+
+int Generate(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: trace_tool gen <mac|dos|hp|synth> <out.trc> [scale] [seed]\n");
+    return 1;
+  }
+  const std::string name = argv[2];
+  const std::string path = argv[3];
+  const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  const Trace trace = GenerateNamedWorkload(name, scale, seed);
+  if (!WriteTraceFile(trace, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records to %s\n", trace.records.size(), path.c_str());
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_tool stats <in.trc>\n");
+    return 1;
+  }
+  std::string error;
+  const auto trace = ReadTraceFile(argv[2], &error);
+  if (!trace) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const TraceStats stats = ComputeTraceStats(*trace);
+  std::printf("trace %s: %zu records\n", trace->name.c_str(), trace->records.size());
+  TablePrinter table({"Metric", "Value"});
+  table.BeginRow().Cell(std::string("duration (s)")).Cell(stats.duration_sec, 1);
+  table.BeginRow().Cell(std::string("distinct KB")).Cell(
+      static_cast<std::int64_t>(stats.distinct_kbytes));
+  table.BeginRow().Cell(std::string("reads")).Cell(
+      static_cast<std::int64_t>(stats.read_count));
+  table.BeginRow().Cell(std::string("writes")).Cell(
+      static_cast<std::int64_t>(stats.write_count));
+  table.BeginRow().Cell(std::string("erases")).Cell(
+      static_cast<std::int64_t>(stats.erase_count));
+  table.BeginRow().Cell(std::string("read fraction")).Cell(stats.read_fraction, 3);
+  table.BeginRow().Cell(std::string("mean read (blocks)")).Cell(stats.read_blocks.mean(), 2);
+  table.BeginRow().Cell(std::string("mean write (blocks)")).Cell(stats.write_blocks.mean(), 2);
+  table.BeginRow().Cell(std::string("gap mean (s)")).Cell(stats.interarrival_sec.mean(), 3);
+  table.BeginRow().Cell(std::string("gap max (s)")).Cell(stats.interarrival_sec.max(), 1);
+  table.BeginRow().Cell(std::string("gap sigma (s)")).Cell(stats.interarrival_sec.stddev(), 2);
+  table.Print(std::cout);
+  return 0;
+}
+
+int Head(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: trace_tool head <in.trc> [n]\n");
+    return 1;
+  }
+  std::string error;
+  const auto trace = ReadTraceFile(argv[2], &error);
+  if (!trace) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::size_t n = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10;
+  for (std::size_t i = 0; i < std::min(n, trace->records.size()); ++i) {
+    const TraceRecord& rec = trace->records[i];
+    std::printf("%10lld us  %-5s file %-6u offset %-8llu size %u\n",
+                static_cast<long long>(rec.time_us), OpTypeName(rec.op), rec.file_id,
+                static_cast<unsigned long long>(rec.offset), rec.size_bytes);
+  }
+  return 0;
+}
+
+int Filter(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: trace_tool filter <in.trc> <out.trc> <reads|writes|file:ID>\n");
+    return 1;
+  }
+  std::string error;
+  const auto trace = ReadTraceFile(argv[2], &error);
+  if (!trace) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string what = argv[4];
+  Trace out;
+  out.name = trace->name + "-" + what;
+  out.block_bytes = trace->block_bytes;
+  for (const TraceRecord& rec : trace->records) {
+    bool keep = false;
+    if (what == "reads") {
+      keep = rec.op == OpType::kRead;
+    } else if (what == "writes") {
+      keep = rec.op == OpType::kWrite;
+    } else if (what.rfind("file:", 0) == 0) {
+      keep = rec.file_id == std::strtoul(what.c_str() + 5, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown filter '%s'\n", what.c_str());
+      return 1;
+    }
+    if (keep) {
+      out.records.push_back(rec);
+    }
+  }
+  if (!WriteTraceFile(out, argv[3])) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("kept %zu of %zu records\n", out.records.size(), trace->records.size());
+  return 0;
+}
+
+int TimeScale(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: trace_tool timescale <in.trc> <out.trc> <factor>\n");
+    return 1;
+  }
+  std::string error;
+  const auto trace = ReadTraceFile(argv[2], &error);
+  if (!trace) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const double factor = std::atof(argv[4]);
+  if (factor <= 0.0) {
+    std::fprintf(stderr, "factor must be positive\n");
+    return 1;
+  }
+  Trace out = *trace;
+  out.name = trace->name + "-x" + argv[4];
+  for (TraceRecord& rec : out.records) {
+    rec.time_us = static_cast<SimTime>(static_cast<double>(rec.time_us) * factor);
+  }
+  if (!WriteTraceFile(out, argv[3])) {
+    std::fprintf(stderr, "cannot write %s\n", argv[3]);
+    return 1;
+  }
+  std::printf("rescaled %zu records by %.3f\n", out.records.size(), factor);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_tool <gen|stats|head> ...\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "gen") {
+    return Generate(argc, argv);
+  }
+  if (command == "stats") {
+    return Stats(argc, argv);
+  }
+  if (command == "head") {
+    return Head(argc, argv);
+  }
+  if (command == "filter") {
+    return Filter(argc, argv);
+  }
+  if (command == "timescale") {
+    return TimeScale(argc, argv);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 1;
+}

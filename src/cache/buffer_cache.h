@@ -1,0 +1,94 @@
+// Write-through DRAM buffer cache.
+//
+// First level of the storage hierarchy (section 4.2): reads are serviced
+// from here on a hit; every write goes through to the next level.  A zero
+// capacity disables the cache entirely (the configuration used for the hp
+// trace, which was captured below the file system's own cache).
+//
+// DRAM is volatile and pays a continuous refresh cost, so a bigger cache is
+// not automatically better energy-wise -- that trade-off is the subject of
+// the paper's section 5.4 / figure 4.
+#ifndef MOBISIM_SRC_CACHE_BUFFER_CACHE_H_
+#define MOBISIM_SRC_CACHE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/device/device_spec.h"
+#include "src/util/energy_meter.h"
+#include "src/util/sim_time.h"
+
+namespace mobisim {
+
+class BufferCache {
+ public:
+  BufferCache(const MemorySpec& spec, std::uint64_t capacity_bytes, std::uint32_t block_bytes);
+
+  bool enabled() const { return capacity_blocks_ > 0; }
+  std::uint64_t capacity_blocks() const { return capacity_blocks_; }
+  std::uint64_t cached_blocks() const { return lru_.size(); }
+
+  // True if every block of [lba, lba+count) is cached; refreshes LRU
+  // positions on a hit.  Misses leave the cache untouched (the caller
+  // fetches from below and then calls Insert).
+  bool ReadHit(std::uint64_t lba, std::uint32_t count);
+  // Inserts blocks (write-allocate), evicting least-recently-used blocks as
+  // needed.  In write-through operation victims are always clean and
+  // eviction is free; in write-back operation evicted dirty blocks are
+  // appended to `evicted_dirty` (if non-null) and the caller must write them
+  // to the device.
+  void Insert(std::uint64_t lba, std::uint32_t count,
+              std::vector<std::uint64_t>* evicted_dirty = nullptr);
+  void InvalidateRange(std::uint64_t lba, std::uint32_t count);
+
+  // -- Write-back support (section 4.2: "a write-back cache might avoid
+  // some erasures at the cost of occasional data loss") -------------------
+  // Marks cached blocks dirty; they must already be present (Insert first).
+  void MarkDirty(std::uint64_t lba, std::uint32_t count);
+  std::uint64_t dirty_blocks() const { return dirty_.size(); }
+  // A maximal run of consecutive dirty blocks.
+  struct DirtyRange {
+    std::uint64_t lba = 0;
+    std::uint32_t count = 0;
+  };
+  // Clears all dirty flags and returns the blocks coalesced into ranges
+  // sorted by LBA (the periodic sync path).  Blocks stay cached.
+  std::vector<DirtyRange> DrainDirty();
+
+  // Time to move `bytes` through the DRAM, and the paired active energy.
+  SimTime AccessTime(std::uint64_t bytes) const;
+  // Accounts active energy for a transfer of `bytes`.
+  void NoteTransfer(std::uint64_t bytes);
+  // Accounts refresh energy up to `t`.
+  void AccountUntil(SimTime t);
+  void Finish(SimTime end) { AccountUntil(end); }
+
+  const EnergyMeter& energy() const { return meter_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  enum Mode : std::size_t { kModeActive = 0, kModeRefresh };
+
+  void TouchBlock(std::uint64_t lba);
+
+  MemorySpec spec_;
+  std::uint64_t capacity_blocks_;
+  std::uint32_t block_bytes_;
+  EnergyMeter meter_;
+  SimTime accounted_until_ = 0;
+  double refresh_w_ = 0.0;
+
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  std::unordered_set<std::uint64_t> dirty_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_CACHE_BUFFER_CACHE_H_

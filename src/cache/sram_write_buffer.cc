@@ -1,0 +1,105 @@
+#include "src/cache/sram_write_buffer.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+SramWriteBuffer::SramWriteBuffer(const MemorySpec& spec, std::uint64_t capacity_bytes,
+                                 std::uint32_t block_bytes)
+    : spec_(spec),
+      capacity_blocks_(capacity_bytes / block_bytes),
+      block_bytes_(block_bytes),
+      meter_({{"active", spec.active_w}, {"retention", 0.0}}) {
+  MOBISIM_CHECK(block_bytes > 0);
+  retention_w_ = spec.idle_w_per_mbyte * static_cast<double>(capacity_bytes) / (1024.0 * 1024.0);
+}
+
+bool SramWriteBuffer::ContainsAll(std::uint64_t lba, std::uint32_t count) const {
+  if (!enabled() || count == 0) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (dirty_.find(lba + i) == dirty_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SramWriteBuffer::ContainsAny(std::uint64_t lba, std::uint32_t count) const {
+  if (!enabled()) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (dirty_.find(lba + i) != dirty_.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SramWriteBuffer::Absorb(std::uint64_t lba, std::uint32_t count) {
+  if (!enabled()) {
+    return false;
+  }
+  std::uint32_t new_blocks = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (dirty_.find(lba + i) == dirty_.end()) {
+      ++new_blocks;
+    }
+  }
+  if (dirty_.size() + new_blocks > capacity_blocks_) {
+    return false;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dirty_.insert(lba + i);
+  }
+  ++absorbed_;
+  return true;
+}
+
+void SramWriteBuffer::Discard(std::uint64_t lba, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dirty_.erase(lba + i);
+  }
+}
+
+std::vector<SramWriteBuffer::FlushRange> SramWriteBuffer::Drain() {
+  std::vector<std::uint64_t> blocks(dirty_.begin(), dirty_.end());
+  std::sort(blocks.begin(), blocks.end());
+  dirty_.clear();
+  std::vector<FlushRange> ranges;
+  for (const std::uint64_t block : blocks) {
+    if (!ranges.empty() && ranges.back().lba + ranges.back().count == block) {
+      ++ranges.back().count;
+    } else {
+      ranges.push_back(FlushRange{block, 1});
+    }
+  }
+  if (!ranges.empty()) {
+    ++flushes_;
+  }
+  return ranges;
+}
+
+SimTime SramWriteBuffer::AccessTime(std::uint64_t bytes) const {
+  return static_cast<SimTime>(spec_.access_overhead_us) +
+         TransferTimeUs(bytes, spec_.write_kbps);
+}
+
+void SramWriteBuffer::NoteTransfer(std::uint64_t bytes) {
+  meter_.Accumulate(kModeActive, AccessTime(bytes));
+}
+
+void SramWriteBuffer::AccountUntil(SimTime t) {
+  if (t <= accounted_until_ || !enabled()) {
+    accounted_until_ = std::max(accounted_until_, t);
+    return;
+  }
+  meter_.AccumulateJoules(kModeRetention, retention_w_ * SecFromUs(t - accounted_until_));
+  accounted_until_ = t;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,81 @@
+// Battery-backed SRAM write buffer (Quantum Daytona style).
+//
+// Absorbs writes so that a spun-down disk can stay asleep (the paper's
+// deferred spin-up policy, sections 2 and 5.5).  Contents survive a crash,
+// so synchronous writes that fit become asynchronous with respect to the
+// disk.  When the buffer fills, the accumulated dirty blocks are flushed to
+// the device and the triggering write waits.  Recently written blocks are
+// readable out of the buffer.
+#ifndef MOBISIM_SRC_CACHE_SRAM_WRITE_BUFFER_H_
+#define MOBISIM_SRC_CACHE_SRAM_WRITE_BUFFER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/device/device_spec.h"
+#include "src/util/energy_meter.h"
+#include "src/util/sim_time.h"
+
+namespace mobisim {
+
+class SramWriteBuffer {
+ public:
+  SramWriteBuffer(const MemorySpec& spec, std::uint64_t capacity_bytes,
+                  std::uint32_t block_bytes);
+
+  bool enabled() const { return capacity_blocks_ > 0; }
+  std::uint64_t capacity_blocks() const { return capacity_blocks_; }
+  std::uint64_t dirty_blocks() const { return dirty_.size(); }
+
+  // True if every block of the range is buffered (read can be serviced
+  // here).
+  bool ContainsAll(std::uint64_t lba, std::uint32_t count) const;
+  // True if any block of the range is buffered (read below would see stale
+  // data; the caller must drain first).
+  bool ContainsAny(std::uint64_t lba, std::uint32_t count) const;
+
+  // Absorbs a write if the whole range fits (blocks already present are
+  // free).  Returns false -- leaving the buffer untouched -- when it does
+  // not fit and the caller must flush first.
+  bool Absorb(std::uint64_t lba, std::uint32_t count);
+
+  // Removes blocks covered by a file deletion; they no longer need flushing.
+  void Discard(std::uint64_t lba, std::uint32_t count);
+
+  // A maximal run of consecutive dirty blocks, flushed as one device write.
+  struct FlushRange {
+    std::uint64_t lba = 0;
+    std::uint32_t count = 0;
+  };
+  // Empties the buffer, returning its contents coalesced into ranges sorted
+  // by LBA.
+  std::vector<FlushRange> Drain();
+
+  SimTime AccessTime(std::uint64_t bytes) const;
+  void NoteTransfer(std::uint64_t bytes);
+  void AccountUntil(SimTime t);
+  void Finish(SimTime end) { AccountUntil(end); }
+
+  const EnergyMeter& energy() const { return meter_; }
+  std::uint64_t absorbed_writes() const { return absorbed_; }
+  std::uint64_t flushes() const { return flushes_; }
+
+ private:
+  enum Mode : std::size_t { kModeActive = 0, kModeRetention };
+
+  MemorySpec spec_;
+  std::uint64_t capacity_blocks_;
+  std::uint32_t block_bytes_;
+  EnergyMeter meter_;
+  SimTime accounted_until_ = 0;
+  double retention_w_ = 0.0;
+
+  std::unordered_set<std::uint64_t> dirty_;
+  std::uint64_t absorbed_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_CACHE_SRAM_WRITE_BUFFER_H_

@@ -1,0 +1,269 @@
+#include "src/core/config_text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace mobisim {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::optional<double> ParseDouble(const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> ParseSize(const std::string& raw) {
+  const std::string text = Lower(Trim(raw));
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t multiplier = 1;
+  std::string digits = text;
+  const char suffix = text.back();
+  if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+    multiplier = suffix == 'k' ? 1024ull : suffix == 'm' ? 1024ull * 1024 : 1024ull * 1024 * 1024;
+    digits = text.substr(0, text.size() - 1);
+  }
+  const auto value = ParseDouble(digits);
+  if (!value || *value < 0) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(*value * static_cast<double>(multiplier));
+}
+
+std::optional<bool> ParseBool(const std::string& raw) {
+  const std::string text = Lower(Trim(raw));
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::optional<DeviceSpec> DeviceByName(const std::string& name) {
+  for (const DeviceSpec& spec : AllDeviceSpecs()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ApplyConfigAssignment(SimConfig* config, const std::string& raw_key,
+                           const std::string& raw_value, std::string* error) {
+  const std::string key = Lower(Trim(raw_key));
+  const std::string value = Trim(raw_value);
+
+  if (key == "device") {
+    const auto spec = DeviceByName(value);
+    if (!spec) {
+      SetError(error, "unknown device '" + value + "'");
+      return false;
+    }
+    config->device = *spec;
+    return true;
+  }
+  if (key == "dram" || key == "sram" || key == "capacity") {
+    const auto size = ParseSize(value);
+    if (!size) {
+      SetError(error, "bad size '" + value + "' for " + key);
+      return false;
+    }
+    if (key == "dram") {
+      config->dram_bytes = *size;
+    } else if (key == "sram") {
+      config->sram_bytes = *size;
+    } else {
+      config->capacity_bytes = *size;
+      config->auto_capacity = false;
+    }
+    return true;
+  }
+  if (key == "utilization" || key == "warm_fraction") {
+    const auto v = ParseDouble(value);
+    if (!v || *v < 0.0 || *v >= 1.0) {
+      SetError(error, "bad fraction '" + value + "' for " + key);
+      return false;
+    }
+    (key == "utilization" ? config->flash_utilization : config->warm_fraction) = *v;
+    return true;
+  }
+  if (key == "spin_down" || key == "sync_interval") {
+    const auto v = ParseDouble(value);
+    if (!v || *v < 0.0) {
+      SetError(error, "bad seconds '" + value + "' for " + key);
+      return false;
+    }
+    (key == "spin_down" ? config->spin_down_after_us : config->cache_sync_interval_us) =
+        UsFromSec(*v);
+    return true;
+  }
+  if (key == "spin_down_policy") {
+    if (Lower(value) == "fixed") {
+      config->spin_down_policy = SpinDownPolicy::kFixedThreshold;
+    } else if (Lower(value) == "adaptive") {
+      config->spin_down_policy = SpinDownPolicy::kAdaptive;
+    } else {
+      SetError(error, "spin_down_policy must be fixed|adaptive");
+      return false;
+    }
+    return true;
+  }
+  if (key == "cleaning") {
+    if (Lower(value) == "background") {
+      config->background_cleaning = true;
+    } else if (Lower(value) == "on-demand") {
+      config->background_cleaning = false;
+    } else {
+      SetError(error, "cleaning must be background|on-demand");
+      return false;
+    }
+    return true;
+  }
+  if (key == "cleaning_policy") {
+    const std::string v = Lower(value);
+    if (v == "greedy") {
+      config->cleaning_policy = CleaningPolicy::kGreedy;
+    } else if (v == "cost-benefit") {
+      config->cleaning_policy = CleaningPolicy::kCostBenefit;
+    } else if (v == "wear-aware") {
+      config->cleaning_policy = CleaningPolicy::kWearAware;
+    } else {
+      SetError(error, "cleaning_policy must be greedy|cost-benefit|wear-aware");
+      return false;
+    }
+    return true;
+  }
+  const struct {
+    const char* name;
+    bool SimConfig::*field;
+  } bool_keys[] = {
+      {"separate_cleaning", &SimConfig::separate_cleaning_segment},
+      {"interleave_prefill", &SimConfig::interleave_prefill},
+      {"async_erasure", &SimConfig::flash_async_erasure},
+      {"write_back", &SimConfig::write_back_cache},
+      {"geometry", &SimConfig::use_disk_geometry},
+  };
+  for (const auto& entry : bool_keys) {
+    if (key == entry.name) {
+      const auto v = ParseBool(value);
+      if (!v) {
+        SetError(error, "bad boolean '" + value + "' for " + key);
+        return false;
+      }
+      config->*(entry.field) = *v;
+      return true;
+    }
+  }
+  SetError(error, "unknown key '" + key + "'");
+  return false;
+}
+
+std::optional<SimConfig> ParseConfigText(const std::string& text, std::string* error) {
+  SimConfig config;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      SetError(error, "line " + std::to_string(line_no) + ": expected key = value");
+      return std::nullopt;
+    }
+    std::string assign_error;
+    if (!ApplyConfigAssignment(&config, line.substr(0, eq), line.substr(eq + 1),
+                               &assign_error)) {
+      SetError(error, "line " + std::to_string(line_no) + ": " + assign_error);
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
+std::vector<std::string> ApplyConfigArgs(SimConfig* config,
+                                         const std::vector<std::string>& args,
+                                         std::string* error) {
+  std::vector<std::string> leftover;
+  for (const std::string& arg : args) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      leftover.push_back(arg);
+      continue;
+    }
+    std::string assign_error;
+    if (!ApplyConfigAssignment(config, arg.substr(0, eq), arg.substr(eq + 1),
+                               &assign_error)) {
+      // Unknown keys fall through to the caller; real value errors abort.
+      if (assign_error.rfind("unknown key", 0) == 0) {
+        leftover.push_back(arg);
+      } else {
+        SetError(error, assign_error);
+        return leftover;
+      }
+    }
+  }
+  return leftover;
+}
+
+std::string DescribeConfig(const SimConfig& config) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s dram=%lluK sram=%lluK util=%.0f%% spin_down=%.1fs policy=%s%s%s",
+                config.device.name.c_str(),
+                static_cast<unsigned long long>(config.dram_bytes / 1024),
+                static_cast<unsigned long long>(config.sram_bytes / 1024),
+                config.flash_utilization * 100.0, SecFromUs(config.spin_down_after_us),
+                CleaningPolicyName(config.cleaning_policy),
+                config.write_back_cache ? " write-back" : "",
+                config.use_disk_geometry ? " geometry" : "");
+  return std::string(buf);
+}
+
+}  // namespace mobisim

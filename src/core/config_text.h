@@ -1,0 +1,58 @@
+// Text configuration for simulations: `key = value` lines (or CLI
+// `key=value` tokens) mapped onto SimConfig.  Used by the mobisim_cli
+// example so whole experiments can be described in a file.
+//
+// Recognised keys (sizes accept k/m/g suffixes; booleans accept
+// true/false/1/0; times are seconds as decimals):
+//   device               catalog name, e.g. intel-datasheet
+//   dram, sram           cache sizes
+//   capacity             device capacity
+//   utilization          flash live fraction (0..1)
+//   spin_down            disk spin-down threshold, seconds
+//   spin_down_policy     fixed | adaptive
+//   cleaning             background | on-demand
+//   cleaning_policy      greedy | cost-benefit | wear-aware
+//   separate_cleaning    bool
+//   interleave_prefill   bool
+//   async_erasure        bool
+//   write_back           bool
+//   sync_interval        write-back sync period, seconds
+//   warm_fraction        leading fraction used to warm caches
+//   geometry             bool (use the geometry-based disk model)
+#ifndef MOBISIM_SRC_CORE_CONFIG_TEXT_H_
+#define MOBISIM_SRC_CORE_CONFIG_TEXT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/sim_config.h"
+
+namespace mobisim {
+
+// Applies one `key=value` assignment.  Returns false (with a message in
+// `error`) on unknown keys or malformed values.
+bool ApplyConfigAssignment(SimConfig* config, const std::string& key,
+                           const std::string& value, std::string* error);
+
+// Parses `text` ('#' comments, blank lines, `key = value` lines).
+std::optional<SimConfig> ParseConfigText(const std::string& text, std::string* error);
+
+// Convenience for CLI argv tokens of the form key=value; unrecognised tokens
+// are returned untouched for the caller to interpret.
+std::vector<std::string> ApplyConfigArgs(SimConfig* config,
+                                         const std::vector<std::string>& args,
+                                         std::string* error);
+
+// Parses "64k" / "2m" / "1g" / plain bytes.  Returns nullopt on garbage.
+std::optional<std::uint64_t> ParseSize(const std::string& text);
+std::optional<bool> ParseBool(const std::string& text);
+// Device catalog lookup by spec name ("cu140-datasheet", ...).
+std::optional<DeviceSpec> DeviceByName(const std::string& name);
+
+// One-line summary of a config, for logging.
+std::string DescribeConfig(const SimConfig& config);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_CORE_CONFIG_TEXT_H_

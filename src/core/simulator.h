@@ -1,0 +1,29 @@
+// Trace-driven simulator: runs a block-level workload through a
+// StorageSystem and gathers the paper's metrics.
+#ifndef MOBISIM_SRC_CORE_SIMULATOR_H_
+#define MOBISIM_SRC_CORE_SIMULATOR_H_
+
+#include <string>
+
+#include "src/core/sim_config.h"
+#include "src/core/sim_result.h"
+#include "src/core/storage_system.h"
+#include "src/trace/trace_record.h"
+
+namespace mobisim {
+
+// Runs `trace` under `config`.  The first config.warm_fraction of records
+// warms the caches; energy and response statistics cover the remainder
+// (section 4.2 of the paper).
+SimResult RunSimulation(const BlockTrace& trace, const SimConfig& config);
+
+// Convenience: generate the named workload ("mac", "dos", "hp", "synth"),
+// lower it to block level, and simulate.  `scale` shrinks the workload for
+// fast runs.  The hp trace is automatically run without a DRAM cache, as in
+// the paper (its trace was captured below the buffer cache).
+SimResult RunNamedWorkload(const std::string& workload, const SimConfig& config,
+                           double scale = 1.0);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_CORE_SIMULATOR_H_

@@ -1,0 +1,247 @@
+#include "src/core/storage_system.h"
+
+#include <algorithm>
+
+#include "src/device/flash_card.h"
+#include "src/device/flash_disk.h"
+#include "src/util/check.h"
+
+namespace mobisim {
+
+std::uint64_t RequiredCapacityBytes(std::uint64_t trace_bytes, double utilization,
+                                    std::uint32_t segment_bytes) {
+  MOBISIM_CHECK(utilization > 0.0 && utilization < 1.0);
+  const std::uint32_t segment = std::max<std::uint32_t>(segment_bytes, 1);
+  const auto needed = static_cast<std::uint64_t>(
+      static_cast<double>(trace_bytes) / utilization);
+  // Round up to whole segments and leave the cleaner three segments of slack.
+  const std::uint64_t rounded = ((needed + segment - 1) / segment + 3) * segment;
+  return rounded;
+}
+
+StorageSystem::StorageSystem(const SimConfig& config, std::uint64_t trace_blocks,
+                             std::uint32_t block_bytes)
+    : config_(config),
+      block_bytes_(block_bytes),
+      dram_(config.dram, config.dram_bytes, block_bytes),
+      sram_(config.sram, config.sram_bytes, block_bytes) {
+  DeviceOptions options;
+  options.block_bytes = block_bytes;
+  options.spin_down_after_us = config.spin_down_after_us;
+  options.spin_down_policy = config.spin_down_policy;
+  options.background_cleaning = config.background_cleaning;
+  options.cleaning_policy = config.cleaning_policy;
+  options.separate_cleaning_segment = config.separate_cleaning_segment;
+
+  const std::uint64_t trace_bytes = trace_blocks * block_bytes;
+  options.capacity_bytes = config.capacity_bytes;
+  if (config.device.kind != DeviceKind::kMagneticDisk && config.auto_capacity) {
+    const std::uint32_t segment =
+        config.device.erase_segment_bytes > 0 ? config.device.erase_segment_bytes : block_bytes;
+    options.capacity_bytes = std::max(
+        options.capacity_bytes,
+        RequiredCapacityBytes(trace_bytes, config.flash_utilization, segment));
+  }
+  if (config.device.kind == DeviceKind::kMagneticDisk) {
+    options.capacity_bytes = std::max(options.capacity_bytes, trace_bytes);
+  }
+
+  if (config.device.kind == DeviceKind::kMagneticDisk && config.use_disk_geometry) {
+    device_ = std::make_unique<GeometricDisk>(config.device, config.disk_geometry, options);
+  } else {
+    device_ = CreateDevice(config.device, options);
+  }
+  disk_ = dynamic_cast<MagneticDisk*>(device_.get());
+  geo_disk_ = dynamic_cast<GeometricDisk*>(device_.get());
+
+  if (auto* card = dynamic_cast<FlashCard*>(device_.get())) {
+    card->Preload(trace_blocks, config.flash_utilization, config.interleave_prefill);
+  } else if (auto* flash_disk = dynamic_cast<FlashDisk*>(device_.get())) {
+    const std::uint64_t capacity_blocks = options.capacity_bytes / block_bytes;
+    const auto live_blocks = static_cast<std::uint64_t>(
+        config.flash_utilization * static_cast<double>(capacity_blocks));
+    flash_disk->Preload(std::max(live_blocks, trace_blocks));
+    flash_disk->set_asynchronous_erasure(config.flash_async_erasure &&
+                                         config.device.pre_erased_write_kbps > 0.0);
+  }
+}
+
+double StorageSystem::TotalEnergyJoules() const {
+  return device_->energy().total_joules() + dram_.energy().total_joules() +
+         sram_.energy().total_joules();
+}
+
+bool StorageSystem::DeviceIsSleeping(SimTime now) const {
+  if (disk_ != nullptr) {
+    return !disk_->IsSpinningAt(now);
+  }
+  if (geo_disk_ != nullptr) {
+    return !geo_disk_->IsSpinningAt(now);
+  }
+  // Flash devices have no spin state; write-behind is always cheap, so treat
+  // them as awake.
+  return false;
+}
+
+SimTime StorageSystem::DrainSramTo(SimTime now) {
+  SimTime completion = now;
+  for (const SramWriteBuffer::FlushRange& range : sram_.Drain()) {
+    BlockRecord rec;
+    rec.time_us = now;
+    rec.op = OpType::kWrite;
+    rec.lba = range.lba;
+    rec.block_count = range.count;
+    // Flushed ranges come from arbitrary files; charge a random access.
+    rec.file_id = ~std::uint32_t{0} - 1;
+    completion = now + device_->Write(now, rec);
+  }
+  return completion;
+}
+
+void StorageSystem::AccountTo(SimTime now) {
+  dram_.AccountUntil(now);
+  sram_.AccountUntil(now);
+  device_->AdvanceTo(now);
+  if (config_.write_back_cache && now >= next_cache_sync_us_) {
+    SyncDirtyCache(now);
+    next_cache_sync_us_ = now + config_.cache_sync_interval_us;
+  }
+}
+
+void StorageSystem::SyncDirtyCache(SimTime now) {
+  for (const BufferCache::DirtyRange& range : dram_.DrainDirty()) {
+    BlockRecord rec;
+    rec.time_us = now;
+    rec.op = OpType::kWrite;
+    rec.lba = range.lba;
+    rec.block_count = range.count;
+    rec.file_id = ~std::uint32_t{0} - 2;
+    device_->Write(now, rec);
+  }
+}
+
+void StorageSystem::WriteBackEvicted(SimTime now, const std::vector<std::uint64_t>& blocks) {
+  for (const std::uint64_t lba : blocks) {
+    BlockRecord rec;
+    rec.time_us = now;
+    rec.op = OpType::kWrite;
+    rec.lba = lba;
+    rec.block_count = 1;
+    rec.file_id = ~std::uint32_t{0} - 2;
+    device_->Write(now, rec);
+  }
+}
+
+SimTime StorageSystem::Handle(const BlockRecord& rec) {
+  AccountTo(rec.time_us);
+  switch (rec.op) {
+    case OpType::kRead:
+      return HandleRead(rec);
+    case OpType::kWrite:
+      return HandleWrite(rec);
+    case OpType::kErase:
+      HandleErase(rec);
+      return 0;
+  }
+  MOBISIM_CHECK(false && "unreachable");
+  return 0;
+}
+
+SimTime StorageSystem::HandleRead(const BlockRecord& rec) {
+  const SimTime now = rec.time_us;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(rec.block_count) * block_bytes_;
+
+  if (dram_.ReadHit(rec.lba, rec.block_count)) {
+    dram_.NoteTransfer(bytes);
+    return dram_.AccessTime(bytes);
+  }
+  if (sram_.ContainsAll(rec.lba, rec.block_count)) {
+    sram_.NoteTransfer(bytes);
+    dram_.Insert(rec.lba, rec.block_count);
+    return sram_.AccessTime(bytes);
+  }
+
+  SimTime start = now;
+  if (sram_.ContainsAny(rec.lba, rec.block_count)) {
+    // The device copy of some blocks is stale; flush before reading.
+    start = DrainSramTo(now);
+  }
+  const SimTime response = (start - now) + device_->Read(start, rec);
+  std::vector<std::uint64_t> evicted_dirty;
+  dram_.Insert(rec.lba, rec.block_count, &evicted_dirty);
+  dram_.NoteTransfer(bytes);
+  if (!evicted_dirty.empty()) {
+    WriteBackEvicted(now + response, evicted_dirty);
+  }
+  return response;
+}
+
+SimTime StorageSystem::HandleWrite(const BlockRecord& rec) {
+  const SimTime now = rec.time_us;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(rec.block_count) * block_bytes_;
+
+  if (config_.write_back_cache && dram_.enabled() &&
+      rec.block_count <= dram_.capacity_blocks()) {
+    // Write-back: the write completes in DRAM; evicted dirty victims and the
+    // periodic sync carry it to the device later.
+    std::vector<std::uint64_t> evicted_dirty;
+    dram_.Insert(rec.lba, rec.block_count, &evicted_dirty);
+    dram_.MarkDirty(rec.lba, rec.block_count);
+    dram_.NoteTransfer(bytes);
+    const SimTime response = dram_.AccessTime(bytes);
+    if (!evicted_dirty.empty()) {
+      WriteBackEvicted(now + response, evicted_dirty);
+    }
+    return response;
+  }
+
+  // Write-through, write-allocate DRAM.
+  dram_.Insert(rec.lba, rec.block_count);
+  dram_.NoteTransfer(bytes);
+
+  if (!sram_.enabled() || rec.block_count > sram_.capacity_blocks()) {
+    // No buffer (or the write cannot possibly fit): synchronous device write.
+    return device_->Write(now, rec);
+  }
+
+  SimTime response = 0;
+  if (!sram_.Absorb(rec.lba, rec.block_count)) {
+    // Buffer full: the write waits for the flush (this is the clustered-
+    // writes penalty of section 5.5).
+    const SimTime drained_at = DrainSramTo(now);
+    response = drained_at - now;
+    MOBISIM_CHECK(sram_.Absorb(rec.lba, rec.block_count));
+  }
+  sram_.NoteTransfer(bytes);
+  response += sram_.AccessTime(bytes);
+
+  // Write-behind: while the device is awake anyway, drain eagerly so the
+  // buffer is empty when the disk next spins down.
+  if (!DeviceIsSleeping(now + response)) {
+    DrainSramTo(now + response);
+  }
+  return response;
+}
+
+void StorageSystem::HandleErase(const BlockRecord& rec) {
+  dram_.InvalidateRange(rec.lba, rec.block_count);
+  sram_.Discard(rec.lba, rec.block_count);
+  device_->Trim(rec.time_us, rec);
+}
+
+void StorageSystem::Finish(SimTime end) {
+  // Leftover buffered writes ultimately reach the device.
+  if (dram_.dirty_blocks() > 0) {
+    SyncDirtyCache(std::max(end, device_->busy_until()));
+    end = std::max(end, device_->busy_until());
+  }
+  if (sram_.dirty_blocks() > 0) {
+    end = std::max(end, DrainSramTo(std::max(end, device_->busy_until())));
+  }
+  end = std::max(end, device_->busy_until());
+  device_->Finish(end);
+  dram_.Finish(end);
+  sram_.Finish(end);
+}
+
+}  // namespace mobisim

@@ -1,0 +1,87 @@
+// The composed storage hierarchy: DRAM buffer cache -> battery-backed SRAM
+// write buffer -> non-volatile storage device.
+//
+// This is the paper's system under test.  Policies implemented here:
+//   - write-through, write-allocate DRAM caching (section 4.2);
+//   - SRAM write absorption with deferred disk spin-up: writes that fit in
+//     SRAM complete without waking a sleeping disk (section 2);
+//   - write-behind: while the device is awake anyway, absorbed writes drain
+//     to it asynchronously so the buffer is empty when the disk next sleeps;
+//   - piggyback flush: a read that wakes the device also drains the buffer,
+//     off the read's critical path;
+//   - read consistency: a read partially covered by buffered dirty blocks
+//     forces a synchronous flush first.
+#ifndef MOBISIM_SRC_CORE_STORAGE_SYSTEM_H_
+#define MOBISIM_SRC_CORE_STORAGE_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/buffer_cache.h"
+#include "src/cache/sram_write_buffer.h"
+#include "src/core/sim_config.h"
+#include "src/device/geometric_disk.h"
+#include "src/device/magnetic_disk.h"
+#include "src/device/storage_device.h"
+
+namespace mobisim {
+
+class StorageSystem {
+ public:
+  // `trace_blocks` is the workload's logical address-space size (used to
+  // preload flash devices to the configured utilization).  `block_bytes` is
+  // the workload's file-system block size.
+  StorageSystem(const SimConfig& config, std::uint64_t trace_blocks,
+                std::uint32_t block_bytes);
+
+  // Services one block-level operation; returns its response time (us).
+  // Erases return 0 (metadata-only).
+  SimTime Handle(const BlockRecord& rec);
+
+  // Brings all components' background accounting up to `now` without I/O.
+  void AccountTo(SimTime now);
+
+  // Closes all energy accounting at `end` (extended to cover in-flight work).
+  void Finish(SimTime end);
+
+  StorageDevice& device() { return *device_; }
+  const StorageDevice& device() const { return *device_; }
+  const BufferCache& dram() const { return dram_; }
+  const SramWriteBuffer& sram() const { return sram_; }
+
+  // Total energy drawn so far across device + DRAM + SRAM (used for warm-up
+  // snapshots).
+  double TotalEnergyJoules() const;
+
+ private:
+  SimTime HandleRead(const BlockRecord& rec);
+  SimTime HandleWrite(const BlockRecord& rec);
+  void HandleErase(const BlockRecord& rec);
+
+  // Writes all buffered SRAM ranges to the device starting at `now`;
+  // returns the completion time.
+  SimTime DrainSramTo(SimTime now);
+  bool DeviceIsSleeping(SimTime now) const;
+  // Write-back mode: flushes the cache's dirty blocks to the device (off the
+  // critical path) and writes back a list of evicted dirty blocks.
+  void SyncDirtyCache(SimTime now);
+  void WriteBackEvicted(SimTime now, const std::vector<std::uint64_t>& blocks);
+
+  SimConfig config_;
+  std::uint32_t block_bytes_;
+  std::unique_ptr<StorageDevice> device_;
+  MagneticDisk* disk_ = nullptr;      // non-null for the average-cost disk model
+  GeometricDisk* geo_disk_ = nullptr;  // non-null for the geometry model
+  BufferCache dram_;
+  SramWriteBuffer sram_;
+  SimTime next_cache_sync_us_ = 0;
+};
+
+// Capacity (bytes) a device needs so `trace_bytes` of live data fits at
+// `utilization`, rounded up to whole erase segments with cleaning slack.
+std::uint64_t RequiredCapacityBytes(std::uint64_t trace_bytes, double utilization,
+                                    std::uint32_t segment_bytes);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_CORE_STORAGE_SYSTEM_H_

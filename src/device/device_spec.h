@@ -1,0 +1,88 @@
+// Parameter blocks describing storage devices and memory chips.
+//
+// Two sets of numbers exist for most devices, exactly as in the paper: the
+// "measured" set derived from the OmniBook micro-benchmarks (Table 1) and the
+// "datasheet" set from manufacturer specifications (Table 2).  The catalog
+// (device_catalog.h) provides both.
+#ifndef MOBISIM_SRC_DEVICE_DEVICE_SPEC_H_
+#define MOBISIM_SRC_DEVICE_DEVICE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mobisim {
+
+enum class DeviceKind : std::uint8_t {
+  kMagneticDisk = 0,
+  kFlashDisk = 1,   // block-interface flash disk emulator (SunDisk SDP)
+  kFlashCard = 2,   // byte-interface flash memory card (Intel Series 2)
+};
+
+const char* DeviceKindName(DeviceKind kind);
+
+struct DeviceSpec {
+  std::string name;
+  DeviceKind kind = DeviceKind::kMagneticDisk;
+
+  // -- Timing ---------------------------------------------------------------
+  // Per-operation overhead for a random access (controller + seek +
+  // rotational latency for disks, controller latency for flash).
+  double read_overhead_ms = 0.0;
+  double write_overhead_ms = 0.0;
+  // Overhead when the access goes to the same file as the previous one (the
+  // paper's no-seek assumption); disks still pay rotational latency.
+  double sequential_overhead_ms = 0.0;
+  // Transfer bandwidth in Kbytes/s, as seen by the host (for "measured"
+  // specs this folds in DOS/MFFS software overheads).
+  double read_kbps = 0.0;
+  double write_kbps = 0.0;
+  // Raw medium bandwidth used for device-internal traffic (flash-card
+  // cleaning copies).  Zero means same as the host-visible rate.
+  double internal_read_kbps = 0.0;
+  double internal_write_kbps = 0.0;
+
+  // -- Magnetic-disk spin behaviour ------------------------------------------
+  double spinup_ms = 0.0;
+
+  // -- Flash erase behaviour --------------------------------------------------
+  // Erase unit: 512 bytes for the SunDisk flash disks, 64-128 Kbytes for the
+  // Intel flash card.
+  std::uint32_t erase_segment_bytes = 0;
+  // Fixed per-segment erase time (Intel card: 1.6 s regardless of size).
+  double erase_ms_per_segment = 0.0;
+  // Decoupled-erasure bandwidth (SunDisk SDP5A: 150 Kbytes/s).
+  double erase_kbps = 0.0;
+  // Write bandwidth into pre-erased areas (SDP5A: 400 Kbytes/s).  Zero means
+  // the device cannot exploit pre-erasure and `write_kbps` (which includes
+  // the coupled erase) always applies.
+  double pre_erased_write_kbps = 0.0;
+  // Guaranteed erase cycles per unit before wear-out (10^5 for the parts the
+  // paper studied; 10^6 for the Series 2+).
+  std::uint32_t endurance_cycles = 100000;
+
+  // -- Power (watts) ----------------------------------------------------------
+  double read_w = 0.0;
+  double write_w = 0.0;
+  double erase_w = 0.0;
+  double idle_w = 0.0;    // spinning but not transferring (disk); powered (flash)
+  double sleep_w = 0.0;   // spun down (disk only)
+  double spinup_w = 0.0;
+};
+
+// DRAM buffer cache or battery-backed SRAM write buffer chip family.
+struct MemorySpec {
+  std::string name;
+  double read_kbps = 0.0;
+  double write_kbps = 0.0;
+  double access_overhead_us = 0.0;
+  // Power while actively transferring.
+  double active_w = 0.0;
+  // Background (refresh / data-retention) power per Mbyte of configured
+  // capacity; DRAM pays this continuously, which is why "more DRAM" is not
+  // free energy-wise (section 5.4).
+  double idle_w_per_mbyte = 0.0;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_DEVICE_DEVICE_SPEC_H_

@@ -1,0 +1,247 @@
+#include "src/device/flash_card.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
+    : spec_(spec),
+      options_(options),
+      meter_({{"read", spec.read_w},
+              {"write", spec.write_w},
+              {"erase", spec.erase_w},
+              {"clean", spec.write_w},
+              {"idle", spec.idle_w}}),
+      segments_(SegmentManagerConfig{options.capacity_bytes, spec.erase_segment_bytes,
+                                     options.block_bytes, /*logical_blocks=*/0,
+                                     options.separate_cleaning_segment}) {
+  MOBISIM_CHECK(spec.kind == DeviceKind::kFlashCard);
+  const double copy_read_kbps =
+      spec.internal_read_kbps > 0.0 ? spec.internal_read_kbps : spec.read_kbps;
+  const double copy_write_kbps =
+      spec.internal_write_kbps > 0.0 ? spec.internal_write_kbps : spec.write_kbps;
+  block_copy_us_ = TransferTimeUs(options.block_bytes, copy_read_kbps) +
+                   TransferTimeUs(options.block_bytes, copy_write_kbps);
+  erase_us_ = UsFromMs(spec.erase_ms_per_segment);
+}
+
+void FlashCard::Preload(std::uint64_t trace_blocks, double utilization, bool interleave) {
+  MOBISIM_CHECK(utilization > 0.0 && utilization < 1.0);
+  const std::uint64_t target_live =
+      static_cast<std::uint64_t>(utilization * static_cast<double>(segments_.total_blocks()));
+  MOBISIM_CHECK(trace_blocks <= target_live);
+  // Leave the cleaner room to operate: two free segments, three when
+  // cleaning copies get their own destination segment.
+  const std::uint64_t slack_segments = options_.separate_cleaning_segment ? 3 : 2;
+  MOBISIM_CHECK(target_live + slack_segments * segments_.blocks_per_segment() <=
+                segments_.total_blocks());
+  const std::uint64_t filler = target_live - trace_blocks;
+
+  if (!interleave || filler == 0 || trace_blocks == 0) {
+    segments_.Preload(0, trace_blocks);
+    segments_.Preload(trace_blocks, filler);
+    return;
+  }
+  // Interleave filler among workload blocks with an integer error
+  // accumulator so each cleaned segment carries its share of cold data.
+  std::uint64_t next_trace = 0;
+  std::uint64_t next_filler = trace_blocks;
+  std::int64_t error = 0;
+  const std::int64_t t = static_cast<std::int64_t>(trace_blocks);
+  const std::int64_t f = static_cast<std::int64_t>(filler);
+  while (next_trace < trace_blocks || next_filler < trace_blocks + filler) {
+    if (next_filler >= trace_blocks + filler ||
+        (next_trace < trace_blocks && error < t)) {
+      segments_.Preload(next_trace++, 1);
+      error += f;
+    } else {
+      segments_.Preload(next_filler++, 1);
+      error -= t;
+    }
+  }
+}
+
+std::uint64_t FlashCard::AvailableSlots() const {
+  const std::uint64_t free = segments_.free_slots();
+  return free > job_.reserved_slots ? free - job_.reserved_slots : 0;
+}
+
+bool FlashCard::CanAcceptHostBlock() const {
+  if (AvailableSlots() == 0) {
+    return false;
+  }
+  if (segments_.active_free_slots() > 0) {
+    return true;
+  }
+  // The active segment is full: writing means opening a fresh one.  The
+  // card keeps one erased segment aside for the cleaner, so the host may
+  // only take a segment when two are erased -- or when nothing is cleanable
+  // at all (the card will never need the reserve).
+  if (segments_.erased_segment_count() >= 2) {
+    return true;
+  }
+  return segments_.erased_segment_count() >= 1 && !job_.active &&
+         segments_.PickVictim(options_.cleaning_policy) == SegmentManager::kNoSegment;
+}
+
+bool FlashCard::MaybeStartCleanJob() {
+  if (job_.active) {
+    return true;
+  }
+  // Keep at least one segment erased at all times (section 4.2): trigger as
+  // soon as the reserve is down to its last erased segment.
+  if (segments_.erased_segment_count() > 1) {
+    return false;
+  }
+  const std::uint32_t victim = segments_.PickVictim(options_.cleaning_policy);
+  if (victim == SegmentManager::kNoSegment) {
+    return false;
+  }
+  const std::uint32_t live = segments_.VictimLiveBlocks(victim);
+  if (segments_.free_slots() < live) {
+    return false;  // not enough room to relocate the victim's live data yet
+  }
+  if (segments_.erased_segment_count() == 0 && segments_.cleaning_free_slots() < live) {
+    return false;  // relocation would need a fresh segment that does not exist
+  }
+  job_.active = true;
+  job_.victim = victim;
+  job_.copy_remaining_us = static_cast<SimTime>(live) * block_copy_us_;
+  job_.erase_remaining_us = erase_us_;
+  job_.reserved_slots = live;
+  ++counters_.clean_jobs;
+  return true;
+}
+
+void FlashCard::CompleteCleanJob() {
+  MOBISIM_DCHECK(job_.active);
+  const std::uint32_t copied = segments_.CleanSegment(job_.victim);
+  counters_.blocks_copied += copied;
+  ++counters_.segment_erases;
+  job_ = CleanJob{};
+}
+
+SimTime FlashCard::FinishCleanJobNow() {
+  MOBISIM_DCHECK(job_.active);
+  const SimTime copy = job_.copy_remaining_us;
+  const SimTime erase = job_.erase_remaining_us;
+  meter_.Accumulate(kModeClean, copy);
+  meter_.Accumulate(kModeErase, erase);
+  CompleteCleanJob();
+  return copy + erase;
+}
+
+void FlashCard::AccountUntil(SimTime t) {
+  if (t <= accounted_until_) {
+    return;
+  }
+  SimTime available = t - accounted_until_;
+  // Background cleaning consumes idle time; keep starting follow-up jobs
+  // while time remains and the erased reserve is low.
+  while (available > 0 && options_.background_cleaning && MaybeStartCleanJob()) {
+    if (job_.copy_remaining_us > 0) {
+      const SimTime spent = std::min(available, job_.copy_remaining_us);
+      meter_.Accumulate(kModeClean, spent);
+      job_.copy_remaining_us -= spent;
+      available -= spent;
+    }
+    if (available > 0 && job_.copy_remaining_us == 0 && job_.erase_remaining_us > 0) {
+      const SimTime spent = std::min(available, job_.erase_remaining_us);
+      meter_.Accumulate(kModeErase, spent);
+      job_.erase_remaining_us -= spent;
+      available -= spent;
+    }
+    if (job_.copy_remaining_us == 0 && job_.erase_remaining_us == 0) {
+      CompleteCleanJob();
+    } else {
+      break;  // ran out of idle time mid-job
+    }
+  }
+  meter_.Accumulate(kModeIdle, available);
+  accounted_until_ = t;
+}
+
+void FlashCard::AdvanceTo(SimTime now) { AccountUntil(now); }
+
+SimTime FlashCard::Read(SimTime now, const BlockRecord& rec) {
+  AccountUntil(now);
+  const SimTime start = std::max(now, busy_until_);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
+  const double overhead_ms =
+      rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.read_overhead_ms;
+  const SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.read_kbps);
+  meter_.Accumulate(kModeRead, service);
+  busy_until_ = start + service;
+  accounted_until_ = std::max(accounted_until_, busy_until_);
+  last_file_ = rec.file_id;
+  ++counters_.reads;
+  counters_.bytes_read += bytes;
+  return busy_until_ - now;
+}
+
+SimTime FlashCard::Write(SimTime now, const BlockRecord& rec) {
+  AccountUntil(now);
+  const SimTime start = std::max(now, busy_until_);
+  SimTime stall = 0;
+
+  for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+    if (options_.background_cleaning) {
+      // Bursts can arrive with no idle time in between; the job must be
+      // *started* here (reserving relocation room) even though it only makes
+      // progress during idle periods or synchronous stalls.
+      MaybeStartCleanJob();
+    }
+    while (!CanAcceptHostBlock()) {
+      // No erased space for this block: the write waits for cleaning to
+      // yield an erased segment.  In on-demand mode this is where cleaning
+      // happens at all.
+      const bool job_ready = MaybeStartCleanJob();
+      MOBISIM_CHECK(job_ready && "flash card wedged: no free space and nothing cleanable");
+      stall += FinishCleanJobNow();
+    }
+    segments_.WriteBlock(rec.lba + i);
+  }
+  if (!options_.background_cleaning) {
+    // On-demand mode also replenishes the reserve synchronously once the
+    // erased reserve is exhausted, charging the triggering write.
+    while (segments_.erased_segment_count() <= 1 && MaybeStartCleanJob()) {
+      stall += FinishCleanJobNow();
+    }
+  }
+  if (stall > 0) {
+    ++counters_.write_stalls;
+    counters_.stall_time_us += stall;
+  }
+
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
+  const double overhead_ms =
+      rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.write_overhead_ms;
+  const SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.write_kbps);
+  meter_.Accumulate(kModeWrite, service);
+  busy_until_ = start + stall + service;
+  accounted_until_ = std::max(accounted_until_, busy_until_);
+  last_file_ = rec.file_id;
+  ++counters_.writes;
+  counters_.bytes_written += bytes;
+  return busy_until_ - now;
+}
+
+void FlashCard::Trim(SimTime now, const BlockRecord& rec) {
+  AccountUntil(now);
+  for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+    segments_.TrimBlock(rec.lba + i);
+  }
+}
+
+void FlashCard::Finish(SimTime end) { AccountUntil(std::max(end, busy_until_)); }
+
+const DeviceCounters& FlashCard::counters() const {
+  counters_.segment_erase_stats = segments_.EraseCountStats();
+  return counters_;
+}
+
+}  // namespace mobisim

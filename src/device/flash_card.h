@@ -1,0 +1,92 @@
+// Byte-accessed flash memory card (Intel Series 2 class).
+//
+// Writes are out-of-place into a log of erase segments managed by
+// SegmentManager.  A cleaner reclaims the lowest-utilization segment by
+// copying its live blocks into the active segment and erasing it; erasure
+// takes a fixed time per segment (1.6 s for the Series 2) regardless of how
+// much data it reclaims.  Cleaning runs in the background during idle time
+// and is suspended while the host performs I/O (section 4.2); a host write
+// that finds no erased space stalls until the in-progress cleaning finishes.
+//
+// In on-demand mode (DeviceOptions::background_cleaning == false) the
+// cleaner only runs, synchronously, when a write exhausts the free-space
+// reserve.
+#ifndef MOBISIM_SRC_DEVICE_FLASH_CARD_H_
+#define MOBISIM_SRC_DEVICE_FLASH_CARD_H_
+
+#include "src/device/storage_device.h"
+#include "src/flash/segment_manager.h"
+
+namespace mobisim {
+
+class FlashCard : public StorageDevice {
+ public:
+  FlashCard(const DeviceSpec& spec, const DeviceOptions& options);
+
+  // Preloads the card to `utilization` (fraction of capacity holding live
+  // data): the first `trace_blocks` LBAs (the workload's address space) plus
+  // enough never-accessed filler blocks.  With `interleave` the filler is
+  // spread among the workload blocks so cleaned segments carry cold data,
+  // which is the effect the paper attributes to high utilization; otherwise
+  // the filler packs into its own (never-cleaned) segments.
+  void Preload(std::uint64_t trace_blocks, double utilization, bool interleave = true);
+
+  void AdvanceTo(SimTime now) override;
+  SimTime Read(SimTime now, const BlockRecord& rec) override;
+  SimTime Write(SimTime now, const BlockRecord& rec) override;
+  void Trim(SimTime now, const BlockRecord& rec) override;
+  void Finish(SimTime end) override;
+
+  const EnergyMeter& energy() const override { return meter_; }
+  const DeviceCounters& counters() const override;
+  const DeviceSpec& spec() const override { return spec_; }
+  SimTime busy_until() const override { return busy_until_; }
+
+  const SegmentManager& segments() const { return segments_; }
+
+ private:
+  enum Mode : std::size_t { kModeRead = 0, kModeWrite, kModeErase, kModeClean, kModeIdle };
+
+  struct CleanJob {
+    bool active = false;
+    std::uint32_t victim = SegmentManager::kNoSegment;
+    SimTime copy_remaining_us = 0;
+    SimTime erase_remaining_us = 0;
+    std::uint32_t reserved_slots = 0;
+  };
+
+  // Free slots a host write may consume right now (free minus the cleaner's
+  // copy reservation).
+  std::uint64_t AvailableSlots() const;
+  // Whether a one-block host write can proceed without waiting: it needs an
+  // available slot and either room in the active segment or an erased
+  // segment the cleaner does not need (section 4.2's single-active-segment
+  // write discipline -- the source of high-utilization write stalls).
+  bool CanAcceptHostBlock() const;
+  // Starts a cleaning job if the erased-segment reserve is low and a victim
+  // exists.  Returns true if a job is (now) active.
+  bool MaybeStartCleanJob();
+  // Runs the active job to completion immediately, accounting its energy;
+  // returns the time it consumed.
+  SimTime FinishCleanJobNow();
+  // Applies the job's state transition.
+  void CompleteCleanJob();
+  void AccountUntil(SimTime t);
+
+  DeviceSpec spec_;
+  DeviceOptions options_;
+  EnergyMeter meter_;
+  mutable DeviceCounters counters_;
+  SegmentManager segments_;
+  CleanJob job_;
+
+  SimTime accounted_until_ = 0;
+  SimTime busy_until_ = 0;
+  std::uint32_t last_file_ = ~std::uint32_t{0};
+  SimTime block_copy_us_;   // read+write one block during cleaning
+  SimTime erase_us_;        // fixed per-segment erase time
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_DEVICE_FLASH_CARD_H_

@@ -1,0 +1,66 @@
+// Magnetic hard disk with spin-down power management.
+//
+// Models the Caviar Ultralite CU140 / HP Kittyhawk class of mobile drives:
+// the disk idles (platters spinning) after each operation, spins down after
+// a configurable inactivity threshold (5 s in the paper), and pays a
+// spin-up delay and elevated spin-up power when the next operation arrives.
+// Seeks follow the paper's assumption: repeated accesses to the same file
+// need no seek, any other access pays the average random-access overhead.
+#ifndef MOBISIM_SRC_DEVICE_MAGNETIC_DISK_H_
+#define MOBISIM_SRC_DEVICE_MAGNETIC_DISK_H_
+
+#include "src/device/storage_device.h"
+
+namespace mobisim {
+
+class MagneticDisk : public StorageDevice {
+ public:
+  MagneticDisk(const DeviceSpec& spec, const DeviceOptions& options);
+
+  void AdvanceTo(SimTime now) override;
+  SimTime Read(SimTime now, const BlockRecord& rec) override;
+  SimTime Write(SimTime now, const BlockRecord& rec) override;
+  void Trim(SimTime now, const BlockRecord& rec) override;
+  void Finish(SimTime end) override;
+
+  const EnergyMeter& energy() const override { return meter_; }
+  const DeviceCounters& counters() const override { return counters_; }
+  const DeviceSpec& spec() const override { return spec_; }
+  SimTime busy_until() const override { return busy_until_; }
+
+  // True if the platters would still be spinning at `now` (no state change).
+  // The storage system uses this to decide whether a write can be deferred
+  // into SRAM without waking the disk.
+  bool IsSpinningAt(SimTime now) const;
+
+  // Current spin-down threshold (fixed, or the adaptive policy's latest).
+  SimTime spin_down_threshold_us() const { return threshold_us_; }
+
+ private:
+  enum Mode : std::size_t { kModeRead = 0, kModeWrite, kModeIdle, kModeSleep, kModeSpinup };
+
+  // Accounts idle/sleep energy (including a spin-down transition) up to `t`.
+  void AccountUntil(SimTime t);
+  SimTime ServiceOp(SimTime now, const BlockRecord& rec, bool is_read);
+  // Adaptive policy: adjusts the threshold based on how long the completed
+  // sleep lasted relative to the spin-up break-even time.
+  void AdaptThreshold(SimTime sleep_duration_us);
+
+  DeviceSpec spec_;
+  DeviceOptions options_;
+  EnergyMeter meter_;
+  DeviceCounters counters_;
+
+  SimTime accounted_until_ = 0;
+  SimTime busy_until_ = 0;
+  // End of the last mechanical activity; the spin-down countdown starts here.
+  SimTime idle_since_ = 0;
+  bool spinning_ = true;
+  SimTime threshold_us_ = 0;
+  SimTime slept_since_ = 0;  // when the current sleep began
+  std::uint32_t last_file_ = ~std::uint32_t{0};
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_DEVICE_MAGNETIC_DISK_H_

@@ -1,0 +1,24 @@
+#include "src/device/storage_device.h"
+
+#include "src/device/flash_card.h"
+#include "src/device/flash_disk.h"
+#include "src/device/magnetic_disk.h"
+#include "src/util/check.h"
+
+namespace mobisim {
+
+std::unique_ptr<StorageDevice> CreateDevice(const DeviceSpec& spec,
+                                            const DeviceOptions& options) {
+  switch (spec.kind) {
+    case DeviceKind::kMagneticDisk:
+      return std::make_unique<MagneticDisk>(spec, options);
+    case DeviceKind::kFlashDisk:
+      return std::make_unique<FlashDisk>(spec, options);
+    case DeviceKind::kFlashCard:
+      return std::make_unique<FlashCard>(spec, options);
+  }
+  MOBISIM_CHECK(false && "unknown device kind");
+  return nullptr;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,120 @@
+#include "src/envy/envy_store.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+namespace {
+
+SegmentManagerConfig MakeSegmentConfig(const EnvyConfig& config) {
+  SegmentManagerConfig seg;
+  seg.capacity_bytes = config.flash_bytes;
+  seg.segment_bytes = config.flash.erase_segment_bytes;
+  seg.block_bytes = config.page_bytes;
+  seg.separate_cleaning_segment = config.separate_cleaning_segment;
+  return seg;
+}
+
+}  // namespace
+
+EnvyStore::EnvyStore(const EnvyConfig& config)
+    : config_(config),
+      segments_(MakeSegmentConfig(config)),
+      live_pages_(static_cast<std::uint64_t>(
+          config.utilization * static_cast<double>(segments_.total_blocks()))),
+      popularity_(static_cast<std::size_t>(std::max<std::uint64_t>(live_pages_, 1)),
+                  config.zipf_skew),
+      page_perm_rng_(0xe9f1) {
+  MOBISIM_CHECK(config.utilization > 0.0 && config.utilization < 1.0);
+  // Slack must cover the two active roles (host log + cleaning destination)
+  // plus the erased reserve EnsureSpace maintains.
+  const std::uint64_t slack_segments = config.separate_cleaning_segment ? 5 : 3;
+  MOBISIM_CHECK(live_pages_ + slack_segments * segments_.blocks_per_segment() <=
+                segments_.total_blocks());
+  segments_.Preload(0, live_pages_);
+
+  buffer_capacity_pages_ = std::max<std::uint64_t>(1, config.sram_bytes / config.page_bytes);
+  buffered_page_ids_.reserve(buffer_capacity_pages_);
+
+  const double read_kbps =
+      config.flash.internal_read_kbps > 0 ? config.flash.internal_read_kbps
+                                          : config.flash.read_kbps;
+  const double write_kbps =
+      config.flash.internal_write_kbps > 0 ? config.flash.internal_write_kbps
+                                           : config.flash.write_kbps;
+  page_read_us_ = TransferTimeUs(config.page_bytes, read_kbps);
+  page_write_us_ = TransferTimeUs(config.page_bytes, write_kbps);
+  sram_page_us_ = TransferTimeUs(config.page_bytes, config.sram.write_kbps);
+  erase_us_ = UsFromMs(config.flash.erase_ms_per_segment);
+}
+
+double EnvyStore::cleaning_time_fraction() const {
+  return now_ == 0 ? 0.0 : static_cast<double>(cleaning_us_) / static_cast<double>(now_);
+}
+
+double EnvyStore::io_time_fraction() const {
+  return now_ == 0 ? 0.0 : static_cast<double>(io_us_) / static_cast<double>(now_);
+}
+
+double EnvyStore::tps() const {
+  return now_ == 0 ? 0.0
+                   : static_cast<double>(transactions_) / SecFromUs(now_);
+}
+
+void EnvyStore::EnsureSpace(std::uint64_t pages) {
+  // Keep enough fully-erased segments for this flush plus the two active
+  // roles (host log and cleaning destination).
+  const std::uint64_t needed_segments =
+      2 + pages / segments_.blocks_per_segment() + 1;
+  while (segments_.erased_segment_count() < needed_segments) {
+    const std::uint32_t victim = segments_.PickVictim(config_.policy);
+    MOBISIM_CHECK(victim != SegmentManager::kNoSegment && "eNVy store wedged (full)");
+    MOBISIM_CHECK(segments_.free_slots() >= segments_.VictimLiveBlocks(victim));
+    const std::uint32_t copied = segments_.CleanSegment(victim);
+    copies_ += copied;
+    ++erases_;
+    const SimTime cost =
+        static_cast<SimTime>(copied) * (page_read_us_ + page_write_us_) + erase_us_;
+    cleaning_us_ += cost;
+    now_ += cost;
+  }
+}
+
+void EnvyStore::FlushBuffer() {
+  EnsureSpace(buffered_page_ids_.size());
+  for (const std::uint64_t page : buffered_page_ids_) {
+    segments_.WriteBlock(page);
+    now_ += page_write_us_;
+    io_us_ += page_write_us_;
+  }
+  buffered_page_ids_.clear();
+  buffered_pages_ = 0;
+}
+
+void EnvyStore::WritePage(std::uint64_t page) {
+  // Writes land in battery-backed SRAM (copy-on-write front buffer).
+  now_ += sram_page_us_;
+  io_us_ += sram_page_us_;
+  buffered_page_ids_.push_back(page);
+  if (++buffered_pages_ >= buffer_capacity_pages_) {
+    FlushBuffer();
+  }
+}
+
+SimTime EnvyStore::Transaction(Rng& rng, int page_reads, int page_writes) {
+  const SimTime start = now_;
+  for (int i = 0; i < page_reads; ++i) {
+    (void)popularity_.Sample(rng);  // page identity does not affect read cost
+    now_ += page_read_us_;
+    io_us_ += page_read_us_;
+  }
+  for (int i = 0; i < page_writes; ++i) {
+    WritePage(static_cast<std::uint64_t>(popularity_.Sample(rng)));
+  }
+  ++transactions_;
+  return now_ - start;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,263 @@
+#include "src/fcache/flash_cache_system.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+namespace {
+
+// Sentinel file id for cache-internal traffic (destages, fills).
+constexpr std::uint32_t kCacheFile = ~std::uint32_t{0} - 7;
+
+BlockRecord MakeRecord(SimTime t, OpType op, std::uint64_t lba, std::uint32_t count) {
+  BlockRecord rec;
+  rec.time_us = t;
+  rec.op = op;
+  rec.lba = lba;
+  rec.block_count = count;
+  rec.file_id = kCacheFile;
+  return rec;
+}
+
+}  // namespace
+
+FlashCacheSystem::FlashCacheSystem(const FlashCacheConfig& config)
+    : config_(config), dram_(config.dram, config.dram_bytes, config.block_bytes) {
+  MOBISIM_CHECK(config.block_bytes > 0);
+
+  DeviceOptions flash_options;
+  flash_options.block_bytes = config.block_bytes;
+  flash_options.capacity_bytes = std::max<std::uint64_t>(
+      config.flash_bytes, 2ull * config.flash.erase_segment_bytes + config.block_bytes);
+  flash_ = std::make_unique<FlashCard>(config.flash, flash_options);
+
+  DeviceOptions disk_options;
+  disk_options.block_bytes = config.block_bytes;
+  disk_options.capacity_bytes = config.disk_capacity_bytes;
+  disk_options.spin_down_after_us = config.spin_down_after_us;
+  disk_ = std::make_unique<MagneticDisk>(config.disk, disk_options);
+
+  const std::uint64_t flash_blocks =
+      flash_options.capacity_bytes / config.block_bytes;
+  cache_capacity_blocks_ = static_cast<std::uint64_t>(
+      config.flash_usable_fraction * static_cast<double>(flash_blocks));
+  MOBISIM_CHECK(cache_capacity_blocks_ > 0);
+  free_slots_.reserve(cache_capacity_blocks_);
+  // Hand out slots from the top down so pops are cheap.
+  for (std::uint64_t s = cache_capacity_blocks_; s > 0; --s) {
+    free_slots_.push_back(s - 1);
+  }
+}
+
+bool FlashCacheSystem::CachedAll(std::uint64_t lba, std::uint32_t count) const {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (entries_.find(lba + i) == entries_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FlashCacheSystem::Touch(std::uint64_t lba) {
+  const auto it = entries_.find(lba);
+  MOBISIM_DCHECK(it != entries_.end());
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+SimTime FlashCacheSystem::Destage(SimTime now, std::uint64_t max_blocks) {
+  // Collect dirty disk blocks in LBA (elevator) order, up to the budget.
+  std::vector<std::uint64_t> dirty;
+  dirty.reserve(std::min<std::uint64_t>(dirty_count_, max_blocks));
+  for (const auto& [lba, entry] : entries_) {
+    if (entry.dirty) {
+      dirty.push_back(lba);
+    }
+  }
+  if (dirty.empty()) {
+    return now;
+  }
+  std::sort(dirty.begin(), dirty.end());
+  if (dirty.size() > max_blocks) {
+    dirty.resize(max_blocks);
+  }
+  for (const std::uint64_t lba : dirty) {
+    entries_[lba].dirty = false;
+    --dirty_count_;
+  }
+  ++destages_;
+
+  SimTime completion = now;
+  std::uint64_t run_start = dirty.front();
+  std::uint32_t run_len = 1;
+  auto flush_run = [&]() {
+    completion = now + disk_->Write(now, MakeRecord(now, OpType::kWrite, run_start, run_len));
+  };
+  for (std::size_t i = 1; i < dirty.size(); ++i) {
+    if (dirty[i] == run_start + run_len) {
+      ++run_len;
+    } else {
+      flush_run();
+      run_start = dirty[i];
+      run_len = 1;
+    }
+  }
+  flush_run();
+  return completion;
+}
+
+std::uint64_t FlashCacheSystem::AcquireSlot(SimTime now) {
+  if (!free_slots_.empty()) {
+    const std::uint64_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  MOBISIM_CHECK(!lru_.empty());
+  const std::uint64_t victim_lba = lru_.back();
+  const auto it = entries_.find(victim_lba);
+  MOBISIM_DCHECK(it != entries_.end());
+  if (it->second.dirty) {
+    // The cache is full of dirty data: destage everything in one disk
+    // session rather than dribbling single blocks.
+    DestageAll(now);
+  }
+  const std::uint64_t slot = it->second.slot;
+  flash_->Trim(now, MakeRecord(now, OpType::kErase, slot, 1));
+  lru_.pop_back();
+  entries_.erase(it);
+  return slot;
+}
+
+SimTime FlashCacheSystem::InstallRange(SimTime now, std::uint64_t lba, std::uint32_t count,
+                                       bool dirty) {
+  SimTime response = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t block = lba + i;
+    const auto it = entries_.find(block);
+    std::uint64_t slot;
+    if (it != entries_.end()) {
+      slot = it->second.slot;
+      if (dirty && !it->second.dirty) {
+        it->second.dirty = true;
+        ++dirty_count_;
+      }
+      Touch(block);
+    } else {
+      slot = AcquireSlot(now);
+      lru_.push_front(block);
+      CacheEntry entry;
+      entry.slot = slot;
+      entry.dirty = dirty;
+      entry.lru_it = lru_.begin();
+      entries_.emplace(block, entry);
+      if (dirty) {
+        ++dirty_count_;
+      }
+    }
+    response = flash_->Write(now, MakeRecord(now, OpType::kWrite, slot, 1)) ;
+  }
+  return response;
+}
+
+SimTime FlashCacheSystem::HandleRead(const BlockRecord& rec) {
+  const SimTime now = rec.time_us;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(rec.block_count) * config_.block_bytes;
+
+  if (dram_.ReadHit(rec.lba, rec.block_count)) {
+    dram_.NoteTransfer(bytes);
+    return dram_.AccessTime(bytes);
+  }
+  if (CachedAll(rec.lba, rec.block_count)) {
+    ++flash_hits_;
+    for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+      Touch(rec.lba + i);
+    }
+    // Timing: one flash read of the full size (slot scatter is irrelevant on
+    // a byte-addressed card).
+    const SimTime response =
+        flash_->Read(now, MakeRecord(now, OpType::kRead, entries_[rec.lba].slot,
+                                     rec.block_count));
+    dram_.Insert(rec.lba, rec.block_count);
+    dram_.NoteTransfer(bytes);
+    return response;
+  }
+
+  ++flash_misses_;
+  const SimTime response = disk_->Read(now, rec);
+  // Fill the flash cache off the critical path, then cache in DRAM too.
+  InstallRange(now + response, rec.lba, rec.block_count, /*dirty=*/false);
+  dram_.Insert(rec.lba, rec.block_count);
+  dram_.NoteTransfer(bytes);
+  // Piggyback: the miss spun the disk up anyway; use the session to destage
+  // a bounded chunk of dirty data instead of paying dedicated spin-ups
+  // later.
+  if (dirty_count_ > 0) {
+    Destage(now + response, config_.destage_chunk_blocks);
+  }
+  return response;
+}
+
+SimTime FlashCacheSystem::HandleWrite(const BlockRecord& rec) {
+  const SimTime now = rec.time_us;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(rec.block_count) * config_.block_bytes;
+  dram_.Insert(rec.lba, rec.block_count);
+  dram_.NoteTransfer(bytes);
+
+  // Flash is non-volatile: the write is durable once it lands there.
+  const SimTime response = InstallRange(now, rec.lba, rec.block_count, /*dirty=*/true);
+
+  if (static_cast<double>(dirty_count_) >
+      config_.destage_threshold * static_cast<double>(cache_capacity_blocks_)) {
+    // Background destage; not charged to this write.
+    DestageAll(now + response);
+  }
+  return response;
+}
+
+void FlashCacheSystem::HandleErase(const BlockRecord& rec) {
+  dram_.InvalidateRange(rec.lba, rec.block_count);
+  for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+    const auto it = entries_.find(rec.lba + i);
+    if (it == entries_.end()) {
+      continue;
+    }
+    if (it->second.dirty) {
+      --dirty_count_;
+    }
+    flash_->Trim(rec.time_us, MakeRecord(rec.time_us, OpType::kErase, it->second.slot, 1));
+    free_slots_.push_back(it->second.slot);
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  disk_->Trim(rec.time_us, rec);
+}
+
+SimTime FlashCacheSystem::Handle(const BlockRecord& rec) {
+  dram_.AccountUntil(rec.time_us);
+  flash_->AdvanceTo(rec.time_us);
+  disk_->AdvanceTo(rec.time_us);
+  switch (rec.op) {
+    case OpType::kRead:
+      return HandleRead(rec);
+    case OpType::kWrite:
+      return HandleWrite(rec);
+    case OpType::kErase:
+      HandleErase(rec);
+      return 0;
+  }
+  MOBISIM_CHECK(false && "unreachable");
+  return 0;
+}
+
+void FlashCacheSystem::Finish(SimTime end) {
+  if (dirty_count_ > 0) {
+    end = std::max(end, DestageAll(std::max(end, disk_->busy_until())));
+  }
+  end = std::max({end, disk_->busy_until(), flash_->busy_until()});
+  disk_->Finish(end);
+  flash_->Finish(end);
+  dram_.Finish(end);
+}
+
+}  // namespace mobisim

@@ -1,0 +1,292 @@
+#include "src/flash/segment_manager.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+const char* CleaningPolicyName(CleaningPolicy policy) {
+  switch (policy) {
+    case CleaningPolicy::kGreedy:
+      return "greedy";
+    case CleaningPolicy::kCostBenefit:
+      return "cost-benefit";
+    case CleaningPolicy::kWearAware:
+      return "wear-aware";
+  }
+  return "unknown";
+}
+
+SegmentManager::SegmentManager(const SegmentManagerConfig& config) : config_(config) {
+  MOBISIM_CHECK(config.block_bytes > 0);
+  MOBISIM_CHECK(config.segment_bytes >= config.block_bytes);
+  MOBISIM_CHECK(config.segment_bytes % config.block_bytes == 0);
+  MOBISIM_CHECK(config.capacity_bytes >= config.segment_bytes);
+  blocks_per_segment_ = config.segment_bytes / config.block_bytes;
+  const std::uint32_t segment_count =
+      static_cast<std::uint32_t>(config.capacity_bytes / config.segment_bytes);
+  MOBISIM_CHECK(segment_count >= 2);
+  segments_.resize(segment_count);
+  const std::uint64_t logical =
+      config.logical_blocks > 0
+          ? config.logical_blocks
+          : static_cast<std::uint64_t>(segment_count) * blocks_per_segment_;
+  MOBISIM_CHECK(logical >= static_cast<std::uint64_t>(segment_count) * blocks_per_segment_);
+  block_segment_.assign(logical, kNoSegment);
+  free_slots_ = total_blocks();
+  erased_segments_ = segment_count;
+}
+
+std::uint64_t SegmentManager::total_blocks() const {
+  return static_cast<std::uint64_t>(segments_.size()) * blocks_per_segment_;
+}
+
+double SegmentManager::utilization() const {
+  return static_cast<double>(live_blocks_) / static_cast<double>(total_blocks());
+}
+
+std::uint32_t SegmentManager::active_free_slots() const {
+  if (active_segment_ == kNoSegment) {
+    return 0;
+  }
+  return blocks_per_segment_ - segments_[active_segment_].slots_used;
+}
+
+std::uint32_t SegmentManager::cleaning_free_slots() const {
+  if (!config_.separate_cleaning_segment) {
+    return active_free_slots();
+  }
+  if (cleaning_segment_ == kNoSegment) {
+    return 0;
+  }
+  return blocks_per_segment_ - segments_[cleaning_segment_].slots_used;
+}
+
+std::uint32_t SegmentManager::segment_live_count(std::uint32_t segment) const {
+  MOBISIM_DCHECK(segment < segments_.size());
+  return segments_[segment].live;
+}
+
+std::uint32_t SegmentManager::segment_erase_count(std::uint32_t segment) const {
+  MOBISIM_DCHECK(segment < segments_.size());
+  return segments_[segment].erase_count;
+}
+
+void SegmentManager::OpenNewActiveSegment(std::uint32_t& slot) {
+  for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].slots_used == 0 && !segments_[i].bad && i != active_segment_ &&
+        i != cleaning_segment_) {
+      slot = i;
+      MOBISIM_CHECK(erased_segments_ > 0);
+      --erased_segments_;
+      return;
+    }
+  }
+  MOBISIM_CHECK(false && "no erased segment available for the active role");
+}
+
+void SegmentManager::AppendBlock(std::uint64_t lba, bool cleaning) {
+  MOBISIM_CHECK(free_slots_ > 0);
+  std::uint32_t& role = (cleaning && config_.separate_cleaning_segment) ? cleaning_segment_
+                                                                        : active_segment_;
+  if (role == kNoSegment || segments_[role].slots_used == blocks_per_segment_) {
+    OpenNewActiveSegment(role);
+  }
+  const std::uint32_t target = role;
+  Segment& seg = segments_[target];
+  ++seg.slots_used;
+  ++seg.live;
+  seg.residents.push_back(lba);
+  if (seg.slots_used == blocks_per_segment_) {
+    // Seal the segment: a full segment is no longer "active" and becomes a
+    // cleaning candidate like any other.
+    seg.sequence = ++fill_sequence_;
+    role = kNoSegment;
+  }
+  --free_slots_;
+  ++live_blocks_;
+  block_segment_[lba] = target;
+}
+
+void SegmentManager::InvalidateBlock(std::uint64_t lba) {
+  const std::uint32_t seg_idx = block_segment_[lba];
+  if (seg_idx == kNoSegment) {
+    return;
+  }
+  Segment& seg = segments_[seg_idx];
+  MOBISIM_DCHECK(seg.live > 0);
+  --seg.live;
+  --live_blocks_;
+  block_segment_[lba] = kNoSegment;
+}
+
+void SegmentManager::Preload(std::uint64_t lba, std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MOBISIM_CHECK(lba + i < block_segment_.size());
+    MOBISIM_CHECK(block_segment_[lba + i] == kNoSegment);
+    AppendBlock(lba + i);
+  }
+}
+
+void SegmentManager::WriteBlock(std::uint64_t lba) {
+  MOBISIM_CHECK(lba < block_segment_.size());
+  InvalidateBlock(lba);
+  AppendBlock(lba);
+}
+
+void SegmentManager::TrimBlock(std::uint64_t lba) {
+  MOBISIM_CHECK(lba < block_segment_.size());
+  InvalidateBlock(lba);
+}
+
+bool SegmentManager::IsMapped(std::uint64_t lba) const {
+  MOBISIM_CHECK(lba < block_segment_.size());
+  return block_segment_[lba] != kNoSegment;
+}
+
+std::uint32_t SegmentManager::BlockSegment(std::uint64_t lba) const {
+  MOBISIM_CHECK(lba < block_segment_.size());
+  return block_segment_[lba];
+}
+
+std::uint32_t SegmentManager::PickVictim(CleaningPolicy policy) const {
+  std::uint32_t max_erases = 0;
+  if (policy == CleaningPolicy::kWearAware) {
+    for (const Segment& seg : segments_) {
+      max_erases = std::max(max_erases, seg.erase_count);
+    }
+  }
+
+  std::uint32_t best = kNoSegment;
+  double best_score = -1.0;
+  for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+    const Segment& seg = segments_[i];
+    if (i == active_segment_ || seg.slots_used != blocks_per_segment_ ||
+        seg.live == blocks_per_segment_) {
+      continue;  // only full segments with at least one invalid slot qualify
+    }
+    double score = 0.0;
+    switch (policy) {
+      case CleaningPolicy::kGreedy:
+        score = static_cast<double>(blocks_per_segment_ - seg.live);
+        break;
+      case CleaningPolicy::kCostBenefit: {
+        const double u =
+            static_cast<double>(seg.live) / static_cast<double>(blocks_per_segment_);
+        const double age = static_cast<double>(fill_sequence_ - seg.sequence) + 1.0;
+        score = (1.0 - u) * age / (1.0 + u);
+        break;
+      }
+      case CleaningPolicy::kWearAware: {
+        // Greedy, plus a bonus for under-erased segments so cold data gets
+        // rotated off low-wear areas.
+        const double invalid = static_cast<double>(blocks_per_segment_ - seg.live);
+        const double deficit =
+            static_cast<double>(max_erases - seg.erase_count) /
+            static_cast<double>(std::max<std::uint32_t>(max_erases, 1));
+        score = invalid + 0.3 * deficit * static_cast<double>(blocks_per_segment_);
+        break;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::uint32_t SegmentManager::VictimLiveBlocks(std::uint32_t segment) const {
+  MOBISIM_CHECK(segment < segments_.size());
+  return segments_[segment].live;
+}
+
+std::uint32_t SegmentManager::CleanSegment(std::uint32_t segment) {
+  MOBISIM_CHECK(segment < segments_.size());
+  MOBISIM_CHECK(segment != active_segment_);
+  MOBISIM_CHECK(segment != cleaning_segment_);
+  Segment& victim = segments_[segment];
+  MOBISIM_CHECK(victim.slots_used == blocks_per_segment_);
+  MOBISIM_CHECK(free_slots_ >= victim.live);
+
+  // Copy the still-live residents into the active segment.  Resident entries
+  // may be stale (the block was overwritten elsewhere since being appended
+  // here); the mapping is the source of truth.
+  std::uint32_t copied = 0;
+  std::vector<std::uint64_t> residents = std::move(victim.residents);
+  victim.residents.clear();
+  for (const std::uint64_t lba : residents) {
+    if (block_segment_[lba] != segment) {
+      continue;
+    }
+    InvalidateBlock(lba);
+    AppendBlock(lba, /*cleaning=*/true);
+    ++copied;
+  }
+  MOBISIM_CHECK(victim.live == 0);
+
+  victim.slots_used = 0;
+  victim.sequence = 0;
+  ++victim.erase_count;
+  ++total_erases_;
+  if (config_.endurance_limit > 0 && victim.erase_count >= config_.endurance_limit) {
+    // The erase succeeded but the segment is at its cycle limit: retire it.
+    victim.bad = true;
+    ++bad_segments_;
+  } else {
+    ++erased_segments_;
+    free_slots_ += blocks_per_segment_;
+  }
+  return copied;
+}
+
+RunningStats SegmentManager::EraseCountStats() const {
+  RunningStats stats;
+  for (const Segment& seg : segments_) {
+    stats.Add(static_cast<double>(seg.erase_count));
+  }
+  return stats;
+}
+
+bool SegmentManager::CheckInvariants() const {
+  std::vector<std::uint32_t> live_per_segment(segments_.size(), 0);
+  std::uint64_t mapped = 0;
+  for (std::size_t lba = 0; lba < block_segment_.size(); ++lba) {
+    const std::uint32_t seg = block_segment_[lba];
+    if (seg == kNoSegment) {
+      continue;
+    }
+    if (seg >= segments_.size()) {
+      return false;
+    }
+    ++live_per_segment[seg];
+    ++mapped;
+  }
+  if (mapped != live_blocks_) {
+    return false;
+  }
+  std::uint64_t used = 0;
+  std::uint32_t erased = 0;
+  for (std::uint32_t i = 0; i < segments_.size(); ++i) {
+    const Segment& seg = segments_[i];
+    if (seg.live != live_per_segment[i]) {
+      return false;
+    }
+    if (seg.live > seg.slots_used || seg.slots_used > blocks_per_segment_) {
+      return false;
+    }
+    used += seg.slots_used;
+    if (seg.slots_used == 0 && !seg.bad && i != active_segment_ && i != cleaning_segment_) {
+      ++erased;
+    }
+  }
+  if (erased != erased_segments_) {
+    return false;
+  }
+  const std::uint64_t bad_capacity =
+      static_cast<std::uint64_t>(bad_segments_) * blocks_per_segment_;
+  return used + free_slots_ + bad_capacity == total_blocks();
+}
+
+}  // namespace mobisim

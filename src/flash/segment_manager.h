@@ -1,0 +1,156 @@
+// Segment-level state of a flash memory card.
+//
+// Pure state machine, no notion of time or energy: it tracks which logical
+// block lives in which erase segment, per-segment live counts, erase counts,
+// and free (erased) slots.  The FlashCard device model layers timing, energy,
+// and the background-erase schedule on top.
+//
+// Semantics follow section 4.2 of the paper: writes are out-of-place into a
+// single active segment which is filled completely before a new segment is
+// opened; cleaning copies the remaining live blocks of a victim segment into
+// the active segment and then erases the victim.
+#ifndef MOBISIM_SRC_FLASH_SEGMENT_MANAGER_H_
+#define MOBISIM_SRC_FLASH_SEGMENT_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace mobisim {
+
+enum class CleaningPolicy : std::uint8_t {
+  // Pick the segment with the fewest live blocks (the MFFS policy, section 2).
+  kGreedy = 0,
+  // LFS/eNVy-style cost-benefit: maximize (free space gained * age) / cost.
+  kCostBenefit = 1,
+  // Greedy biased toward under-erased segments, implementing the paper's
+  // "spread the load over the flash memory to avoid burning out particular
+  // areas" (section 2).  Trades some extra copying for a narrower
+  // erase-count distribution.
+  kWearAware = 2,
+};
+
+const char* CleaningPolicyName(CleaningPolicy policy);
+
+struct SegmentManagerConfig {
+  std::uint64_t capacity_bytes = 40ull * 1024 * 1024;
+  std::uint32_t segment_bytes = 128 * 1024;
+  std::uint32_t block_bytes = 1024;
+  // Logical address-space size in blocks; 0 means equal to the physical slot
+  // count.  A larger logical space lets file systems burn through addresses
+  // (create/delete churn) while live data stays within physical capacity.
+  std::uint64_t logical_blocks = 0;
+  // Route cleaning copies into their own active segment instead of mixing
+  // them with fresh host writes.  This is eNVy's locality trick (and LFS age
+  // sorting): survivors of cleaning are cold, so segregating them keeps cold
+  // data out of the hot segments and slashes write amplification under
+  // skewed traffic.
+  bool separate_cleaning_segment = false;
+  // Erase-cycle limit per segment; a segment reaching it is retired (goes
+  // bad) and its capacity is lost.  0 disables wear-out (the default: the
+  // paper tracks erase counts but does not model failures).
+  std::uint32_t endurance_limit = 0;
+};
+
+class SegmentManager {
+ public:
+  static constexpr std::uint32_t kNoSegment = ~std::uint32_t{0};
+
+  explicit SegmentManager(const SegmentManagerConfig& config);
+
+  // Marks `count` logical blocks starting at `lba` live, placing them in
+  // append order (used to preload the card to a target utilization).
+  void Preload(std::uint64_t lba, std::uint64_t count);
+
+  // True if a one-block host write can proceed right now.
+  bool HasFreeSlot() const { return free_slots_ > 0; }
+
+  // Out-of-place write of one logical block.  Requires HasFreeSlot().
+  // Invalidates the block's previous location if it had one.
+  void WriteBlock(std::uint64_t lba);
+
+  // Drops a block's mapping (file deletion / trim).  No-op if unmapped.
+  void TrimBlock(std::uint64_t lba);
+
+  bool IsMapped(std::uint64_t lba) const;
+  // Segment currently holding `lba`, or kNoSegment.
+  std::uint32_t BlockSegment(std::uint64_t lba) const;
+
+  // Chooses a cleaning victim among full segments that contain at least one
+  // invalid slot; kNoSegment if none qualifies.  `age_hint` orders segments
+  // for cost-benefit (larger = older); greedy ignores it.
+  std::uint32_t PickVictim(CleaningPolicy policy) const;
+
+  // Number of live blocks cleaning this victim would copy.
+  std::uint32_t VictimLiveBlocks(std::uint32_t segment) const;
+
+  // Copies the victim's live blocks to the active segment (consuming free
+  // slots) and erases the victim.  Requires free_slots() >= live count.
+  // Returns the number of blocks copied.
+  std::uint32_t CleanSegment(std::uint32_t segment);
+
+  // -- Introspection ----------------------------------------------------------
+  std::uint32_t segment_count() const { return static_cast<std::uint32_t>(segments_.size()); }
+  std::uint32_t blocks_per_segment() const { return blocks_per_segment_; }
+  std::uint64_t total_blocks() const;
+  std::uint64_t free_slots() const { return free_slots_; }
+  std::uint64_t live_blocks() const { return live_blocks_; }
+  // Segments that are fully erased (no slot consumed), excluding the active
+  // segment.
+  std::uint32_t erased_segment_count() const { return erased_segments_; }
+  // Segments retired by the endurance limit.
+  std::uint32_t bad_segment_count() const { return bad_segments_; }
+  // Unwritten slots remaining in the current active segment (0 if none open).
+  std::uint32_t active_free_slots() const;
+  // Unwritten slots remaining in the cleaning destination segment; falls
+  // back to the host active segment when cleaning is not segregated.
+  std::uint32_t cleaning_free_slots() const;
+  double utilization() const;
+  std::uint32_t segment_live_count(std::uint32_t segment) const;
+  std::uint32_t segment_erase_count(std::uint32_t segment) const;
+  std::uint64_t total_erase_operations() const { return total_erases_; }
+  // Endurance summary over all segments.
+  RunningStats EraseCountStats() const;
+
+  // Internal-consistency check used by tests and MOBISIM_DCHECK call sites:
+  // live + free + invalid slots == total slots, per-segment counts match the
+  // mapping, etc.
+  bool CheckInvariants() const;
+
+ private:
+  struct Segment {
+    std::uint32_t slots_used = 0;   // appended blocks since last erase
+    std::uint32_t live = 0;         // still-mapped blocks
+    std::uint32_t erase_count = 0;
+    bool bad = false;               // retired by the endurance limit
+    std::uint64_t sequence = 0;     // fill-completion order, for cost-benefit age
+    // Logical blocks appended since last erase; entries may be stale
+    // (superseded), validated against the mapping during cleaning.
+    std::vector<std::uint64_t> residents;
+  };
+
+  // Opens an erased segment into `slot` (the host or cleaning active role).
+  void OpenNewActiveSegment(std::uint32_t& slot);
+  void AppendBlock(std::uint64_t lba, bool cleaning = false);
+  void InvalidateBlock(std::uint64_t lba);
+
+  SegmentManagerConfig config_;
+  std::uint32_t blocks_per_segment_;
+  std::vector<Segment> segments_;
+  // lba -> segment index, or kNoSegment.
+  std::vector<std::uint32_t> block_segment_;
+  std::uint32_t active_segment_ = kNoSegment;
+  // Destination of cleaning copies when separate_cleaning_segment is set.
+  std::uint32_t cleaning_segment_ = kNoSegment;
+  std::uint64_t free_slots_ = 0;
+  std::uint64_t live_blocks_ = 0;
+  std::uint32_t erased_segments_ = 0;
+  std::uint32_t bad_segments_ = 0;
+  std::uint64_t total_erases_ = 0;
+  std::uint64_t fill_sequence_ = 0;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_FLASH_SEGMENT_MANAGER_H_

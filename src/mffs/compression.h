@@ -1,0 +1,46 @@
+// On-the-fly compression model (DoubleSpace / Stacker / MFFS built-in).
+//
+// The paper's micro-benchmarks run each device with and without compression
+// (the Intel card's MFFS 2.00 compresses unconditionally).  We model
+// compression as a CPU-side rate plus a storage-ratio change: compressing
+// halves what hits the medium (the paper's Moby-Dick text compressed ~2:1)
+// but costs compressor/decompressor time on the 25-MHz OmniBook.  Small
+// whole-file writes are buffered by DoubleSpace/Stacker and flushed in
+// batches, which is why compressed small-file writes beat the raw medium.
+#ifndef MOBISIM_SRC_MFFS_COMPRESSION_H_
+#define MOBISIM_SRC_MFFS_COMPRESSION_H_
+
+#include <cstdint>
+
+namespace mobisim {
+
+struct CompressionModel {
+  bool enabled = false;
+  // Stored bytes per input byte for compressible data (Moby-Dick ~0.5).
+  double ratio = 0.5;
+  // Compressor / decompressor throughput on the host CPU, Kbytes/s.
+  double compress_kbps = 260.0;
+  double decompress_kbps = 150.0;
+  // Whole files up to this size are absorbed by the compressor's write-behind
+  // buffer: their cost is CPU-only.
+  std::uint32_t buffered_file_bytes = 8 * 1024;
+  // One-time cost of opening a compressed file for reading (DoubleSpace pays
+  // this; Stacker's is negligible).
+  double open_overhead_ms = 0.0;
+  // Per-chunk driver overhead for non-buffered compressed writes (Stacker on
+  // the PCMCIA flash disk pays a large one).
+  double chunk_overhead_ms = 0.0;
+
+  // Bytes that reach the medium for `bytes` of input with the given
+  // compressibility (1.0 = incompressible).
+  std::uint64_t StoredBytes(std::uint64_t bytes, double data_ratio) const {
+    if (!enabled) {
+      return bytes;
+    }
+    return static_cast<std::uint64_t>(static_cast<double>(bytes) * data_ratio);
+  }
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_MFFS_COMPRESSION_H_

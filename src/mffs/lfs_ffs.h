@@ -1,0 +1,75 @@
+// Log-structured flash file system (Kawaguchi, Nishioka & Motoda, USENIX
+// '95), which section 6 of the paper describes as the fix for MFFS 2.00's
+// pathologies: data and inode blocks are appended to a segmented log on the
+// flash card, an in-memory inode map makes reads O(1) (no FAT-chain walks,
+// no rewrite anomaly), and segments are cleaned LFS-style.
+//
+// Implemented as a TestbedDevice so the section-3 micro-benchmarks can run
+// MFFS 2.00 and this design side by side (bench_related_lfs_ffs).
+#ifndef MOBISIM_SRC_MFFS_LFS_FFS_H_
+#define MOBISIM_SRC_MFFS_LFS_FFS_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/device/device_spec.h"
+#include "src/flash/segment_manager.h"
+#include "src/mffs/testbed_device.h"
+
+namespace mobisim {
+
+struct LfsFfsConfig {
+  DeviceSpec card;  // raw medium speeds (IntelCardDatasheet())
+  std::uint64_t capacity_bytes = 10ull * 1024 * 1024;
+  std::uint32_t block_bytes = 512;
+  // Software overhead per operation (syscall + log bookkeeping).
+  double fs_overhead_ms = 1.0;
+  // One inode/summary block is logged for every `blocks_per_inode_update`
+  // data blocks written (LFS segment-summary amortization).
+  std::uint32_t blocks_per_inode_update = 16;
+  CleaningPolicy policy = CleaningPolicy::kCostBenefit;
+  bool separate_cleaning_segment = true;
+};
+
+LfsFfsConfig DefaultLfsFfsConfig();
+
+class LfsFfsTestbedDevice : public TestbedDevice {
+ public:
+  explicit LfsFfsTestbedDevice(const LfsFfsConfig& config);
+
+  double WriteChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                      std::uint64_t file_total_bytes, double data_ratio) override;
+  double ReadChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                     std::uint64_t file_total_bytes, double data_ratio) override;
+  void DeleteFile(std::uint32_t file_id) override;
+  void Format() override;
+  void IdleCleanup() override;
+  std::string name() const override { return "intel-lfs-ffs"; }
+
+  std::uint64_t cleaning_copies() const { return cleaning_copies_; }
+  std::uint64_t segment_erases() const { return segment_erases_; }
+
+ private:
+  struct FileState {
+    std::uint64_t first_lba = 0;
+    std::uint64_t lba_blocks = 0;
+  };
+
+  FileState& GetFile(std::uint32_t file_id, std::uint64_t file_total_bytes);
+  // Logs `blocks` blocks (data at the given file/offset, or inode blocks);
+  // returns cleaning cost in ms.
+  double LogBlocks(const FileState& file, std::uint64_t start_block, std::uint64_t blocks);
+
+  LfsFfsConfig config_;
+  std::unique_ptr<SegmentManager> segments_;
+  std::unordered_map<std::uint32_t, FileState> files_;
+  std::uint64_t next_lba_ = 0;
+  std::uint64_t inode_lba_ = 0;       // rotating inode-block addresses
+  std::uint64_t inode_accumulator_ = 0;
+  std::uint64_t cleaning_copies_ = 0;
+  std::uint64_t segment_erases_ = 0;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_MFFS_LFS_FFS_H_

@@ -1,0 +1,107 @@
+#include "src/mffs/microbench.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+namespace {
+
+// File ids used by the benchmarks start high to stay clear of caller ids.
+constexpr std::uint32_t kBenchFileBase = 1u << 20;
+
+}  // namespace
+
+MicroBenchResult BenchWriteFiles(TestbedDevice& device, std::uint64_t file_bytes,
+                                 std::uint32_t chunk_bytes, std::uint64_t total_bytes,
+                                 double data_ratio) {
+  MOBISIM_CHECK(file_bytes > 0 && chunk_bytes > 0);
+  MicroBenchResult result;
+  std::uint32_t file_id = kBenchFileBase;
+  std::uint64_t written = 0;
+  while (written < total_bytes) {
+    for (std::uint64_t offset = 0; offset < file_bytes && written < total_bytes;
+         offset += chunk_bytes) {
+      const std::uint32_t bytes =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(chunk_bytes, file_bytes - offset));
+      const double ms = device.WriteChunkMs(file_id, offset, bytes, file_bytes, data_ratio);
+      result.latency_ms.push_back(ms);
+      result.total_ms += ms;
+      written += bytes;
+    }
+    ++file_id;
+  }
+  result.total_bytes = written;
+  return result;
+}
+
+MicroBenchResult BenchReadFiles(TestbedDevice& device, std::uint64_t file_bytes,
+                                std::uint32_t chunk_bytes, std::uint64_t total_bytes,
+                                double data_ratio) {
+  MOBISIM_CHECK(file_bytes > 0 && chunk_bytes > 0);
+  MicroBenchResult result;
+  std::uint32_t file_id = kBenchFileBase;
+  std::uint64_t read = 0;
+  while (read < total_bytes) {
+    for (std::uint64_t offset = 0; offset < file_bytes && read < total_bytes;
+         offset += chunk_bytes) {
+      const std::uint32_t bytes =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(chunk_bytes, file_bytes - offset));
+      const double ms = device.ReadChunkMs(file_id, offset, bytes, file_bytes, data_ratio);
+      result.latency_ms.push_back(ms);
+      result.total_ms += ms;
+      read += bytes;
+    }
+    ++file_id;
+  }
+  result.total_bytes = read;
+  return result;
+}
+
+std::vector<double> BenchOverwritePasses(TestbedDevice& device, std::uint64_t live_bytes,
+                                         std::uint64_t write_bytes, std::uint32_t chunk_bytes,
+                                         std::uint32_t passes, double data_ratio, Rng& rng,
+                                         std::uint64_t live_file_bytes) {
+  MOBISIM_CHECK(live_bytes >= chunk_bytes);
+  MOBISIM_CHECK(live_file_bytes >= chunk_bytes);
+  // Lay down the live data as ordinary files, each written sequentially.
+  // (The paper's figure 3 experiment fills the card with live data, then
+  // issues 4-Kbyte overwrites at random positions within it.)
+  const std::uint32_t file_base = kBenchFileBase + (1u << 10);
+  const std::uint32_t file_count = static_cast<std::uint32_t>(
+      (live_bytes + live_file_bytes - 1) / live_file_bytes);
+  for (std::uint32_t f = 0; f < file_count; ++f) {
+    const std::uint64_t file_bytes =
+        std::min<std::uint64_t>(live_file_bytes, live_bytes - f * live_file_bytes);
+    for (std::uint64_t offset = 0; offset < file_bytes; offset += chunk_bytes) {
+      const std::uint32_t bytes = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(chunk_bytes, file_bytes - offset));
+      device.WriteChunkMs(file_base + f, offset, bytes, file_bytes, data_ratio);
+    }
+  }
+
+  // The system sits idle between setup and measurement; MFFS-style devices
+  // use the time to reclaim setup garbage.
+  device.IdleCleanup();
+
+  std::vector<double> pass_kbps;
+  const std::uint64_t chunk_slots = live_bytes / chunk_bytes;
+  const std::uint64_t chunks_per_file = live_file_bytes / chunk_bytes;
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    double pass_ms = 0.0;
+    std::uint64_t written = 0;
+    while (written < write_bytes) {
+      const std::uint64_t slot =
+          static_cast<std::uint64_t>(rng.UniformInt(0, static_cast<std::int64_t>(chunk_slots) - 1));
+      const std::uint32_t file_id = file_base + static_cast<std::uint32_t>(slot / chunks_per_file);
+      const std::uint64_t offset = (slot % chunks_per_file) * chunk_bytes;
+      pass_ms += device.WriteChunkMs(file_id, offset, chunk_bytes, live_file_bytes, data_ratio);
+      written += chunk_bytes;
+    }
+    pass_kbps.push_back(static_cast<double>(written) / 1024.0 / (pass_ms / 1000.0));
+  }
+  return pass_kbps;
+}
+
+}  // namespace mobisim

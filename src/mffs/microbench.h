@@ -1,0 +1,52 @@
+// Software micro-benchmarks replicating the paper's section 3 methodology:
+// repeatedly read and write sequences of files in fixed-size chunks and
+// report the throughput obtained, including per-chunk latency series for the
+// figure reproductions.
+#ifndef MOBISIM_SRC_MFFS_MICROBENCH_H_
+#define MOBISIM_SRC_MFFS_MICROBENCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mffs/testbed_device.h"
+#include "src/util/rng.h"
+
+namespace mobisim {
+
+struct MicroBenchResult {
+  double total_ms = 0.0;
+  std::uint64_t total_bytes = 0;
+  // Per-chunk latency (ms) in issue order.
+  std::vector<double> latency_ms;
+
+  double throughput_kbps() const {
+    return total_ms <= 0.0 ? 0.0
+                           : static_cast<double>(total_bytes) / 1024.0 / (total_ms / 1000.0);
+  }
+};
+
+// Writes files of `file_bytes` (sequentially, `chunk_bytes` at a time) until
+// `total_bytes` have been written; a fresh file id per file.  Matches the
+// paper's write benchmark for Table 1 and figure 1.
+MicroBenchResult BenchWriteFiles(TestbedDevice& device, std::uint64_t file_bytes,
+                                 std::uint32_t chunk_bytes, std::uint64_t total_bytes,
+                                 double data_ratio);
+
+// Reads back the same layout (files must have been written first).
+MicroBenchResult BenchReadFiles(TestbedDevice& device, std::uint64_t file_bytes,
+                                std::uint32_t chunk_bytes, std::uint64_t total_bytes,
+                                double data_ratio);
+
+// Figure 3: `passes` overwrites of `write_bytes` each, in `chunk_bytes`
+// units at random positions within `live_bytes` of existing data on a card.
+// The live data is laid out as files of `live_file_bytes` (1 MB by default,
+// as a DOS file system full of ordinary files would look).  Returns one
+// throughput figure per pass.
+std::vector<double> BenchOverwritePasses(TestbedDevice& device, std::uint64_t live_bytes,
+                                         std::uint64_t write_bytes, std::uint32_t chunk_bytes,
+                                         std::uint32_t passes, double data_ratio, Rng& rng,
+                                         std::uint64_t live_file_bytes = 1024 * 1024);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_MFFS_MICROBENCH_H_

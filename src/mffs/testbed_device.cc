@@ -1,0 +1,247 @@
+#include "src/mffs/testbed_device.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/device/device_catalog.h"
+#include "src/util/check.h"
+#include "src/util/sim_time.h"
+
+namespace mobisim {
+
+namespace {
+
+double TransferMs(std::uint64_t bytes, double kbps) {
+  return MsFromUs(TransferTimeUs(bytes, kbps));
+}
+
+}  // namespace
+
+// --------------------------- SimpleTestbedDevice ----------------------------
+
+SimpleTestbedDevice::SimpleTestbedDevice(const DeviceSpec& spec,
+                                         const CompressionModel& compression)
+    : spec_(spec), compression_(compression) {}
+
+double SimpleTestbedDevice::WriteChunkMs(std::uint32_t file_id, std::uint64_t offset,
+                                         std::uint32_t bytes, std::uint64_t file_total_bytes,
+                                         double data_ratio) {
+  const bool sequential = file_id == last_file_ && offset == last_end_offset_;
+  last_file_ = file_id;
+  last_end_offset_ = offset + bytes;
+
+  if (compression_.enabled) {
+    const double cpu_ms = TransferMs(bytes, compression_.compress_kbps);
+    if (file_total_bytes <= compression_.buffered_file_bytes) {
+      // Small whole-file writes are absorbed by the compressor's
+      // write-behind buffering (section 3: "buffered and written to disk in
+      // batches"); only the CPU cost is visible.
+      return cpu_ms;
+    }
+    const std::uint64_t stored = compression_.StoredBytes(bytes, data_ratio);
+    const double overhead_ms = sequential ? 0.0 : spec_.write_overhead_ms;
+    return cpu_ms + overhead_ms + compression_.chunk_overhead_ms +
+           TransferMs(stored, spec_.write_kbps);
+  }
+  const double overhead_ms = sequential ? 0.0 : spec_.write_overhead_ms;
+  return overhead_ms + TransferMs(bytes, spec_.write_kbps);
+}
+
+double SimpleTestbedDevice::ReadChunkMs(std::uint32_t file_id, std::uint64_t offset,
+                                        std::uint32_t bytes, std::uint64_t file_total_bytes,
+                                        double data_ratio) {
+  (void)file_total_bytes;
+  const bool sequential = file_id == last_file_ && offset == last_end_offset_;
+  const bool first_access_of_file = file_id != last_file_;
+  last_file_ = file_id;
+  last_end_offset_ = offset + bytes;
+
+  const double overhead_ms = sequential ? 0.0 : spec_.read_overhead_ms;
+  if (compression_.enabled) {
+    const std::uint64_t stored = compression_.StoredBytes(bytes, data_ratio);
+    const double open_ms = first_access_of_file ? compression_.open_overhead_ms : 0.0;
+    return overhead_ms + open_ms + TransferMs(stored, spec_.read_kbps) +
+           TransferMs(bytes, compression_.decompress_kbps);
+  }
+  return overhead_ms + TransferMs(bytes, spec_.read_kbps);
+}
+
+void SimpleTestbedDevice::DeleteFile(std::uint32_t file_id) { (void)file_id; }
+
+void SimpleTestbedDevice::Format() {
+  last_file_ = ~std::uint32_t{0};
+  last_end_offset_ = 0;
+}
+
+// ---------------------------- MffsTestbedDevice -----------------------------
+
+MffsConfig DefaultMffsConfig() {
+  MffsConfig config;
+  config.card = IntelCardDatasheet();
+  config.compression.enabled = true;  // MFFS 2.00 compresses unconditionally
+  config.compression.ratio = 0.5;
+  config.compression.decompress_kbps = 714.0;
+  return config;
+}
+
+MffsTestbedDevice::MffsTestbedDevice(const MffsConfig& config) : config_(config) {
+  Format();
+}
+
+void MffsTestbedDevice::Format() {
+  SegmentManagerConfig seg;
+  seg.capacity_bytes = config_.capacity_bytes;
+  seg.segment_bytes = config_.card.erase_segment_bytes;
+  seg.block_bytes = config_.block_bytes;
+  // Generous logical space: file create/delete churn burns addresses.
+  seg.logical_blocks = 8ull * (config_.capacity_bytes / config_.block_bytes);
+  segments_ = std::make_unique<SegmentManager>(seg);
+  files_.clear();
+  next_lba_ = 0;
+  cleaning_copies_ = 0;
+  segment_erases_ = 0;
+  rewrite_rng_ = Rng(0x4d46465332ull);
+  rotor_ = 0;
+}
+
+MffsTestbedDevice::FileState& MffsTestbedDevice::GetFile(std::uint32_t file_id,
+                                                         std::uint64_t file_total_bytes) {
+  auto it = files_.find(file_id);
+  if (it != files_.end()) {
+    return it->second;
+  }
+  FileState state;
+  state.first_lba = next_lba_;
+  state.lba_blocks =
+      (std::max<std::uint64_t>(file_total_bytes, config_.block_bytes) + config_.block_bytes - 1) /
+      config_.block_bytes;
+  next_lba_ += state.lba_blocks;
+  MOBISIM_CHECK(next_lba_ <= 8ull * (config_.capacity_bytes / config_.block_bytes));
+  return files_.emplace(file_id, state).first->second;
+}
+
+double MffsTestbedDevice::WritePhysicalBlocks(FileState& file, std::uint64_t blocks,
+                                              bool extend, std::uint64_t user_offset,
+                                              bool is_rewrite, bool scatter_rewrites) {
+  double cost_ms = 0.0;
+  const double copy_block_ms = TransferMs(config_.block_bytes, config_.card.write_kbps) +
+                               TransferMs(config_.block_bytes, config_.card.read_kbps);
+  std::uint64_t stored_blocks =
+      (file.stored_bytes + config_.block_bytes - 1) / config_.block_bytes;
+  for (std::uint64_t i = 0; i < blocks; ++i) {
+    // Keep one segment's worth of erased blocks in hand: cleaning a victim
+    // requires room to relocate its live blocks.
+    while (segments_->free_slots() <= segments_->blocks_per_segment()) {
+      const std::uint32_t victim = segments_->PickVictim(CleaningPolicy::kGreedy);
+      MOBISIM_CHECK(victim != SegmentManager::kNoSegment && "MFFS card is wedged (full)");
+      const std::uint32_t copied = segments_->CleanSegment(victim);
+      cleaning_copies_ += copied;
+      ++segment_erases_;
+      cost_ms += static_cast<double>(copied) * copy_block_ms + config_.card.erase_ms_per_segment;
+    }
+    std::uint64_t lba;
+    const std::uint64_t span =
+        std::min(std::max<std::uint64_t>(stored_blocks, 1), file.lba_blocks);
+    if (extend) {
+      // New data extends the file's mapped range (clamped to the
+      // reservation; compression can only shrink the need).
+      lba = file.first_lba + std::min(stored_blocks + i, file.lba_blocks - 1);
+    } else if (is_rewrite && scatter_rewrites) {
+      // Overwrite-time anomaly rewrites touch random blocks of the file
+      // (FAT-chain updates land all over it), so their garbage spreads
+      // across segments and victim quality degrades as the card fills.
+      lba = file.first_lba +
+            static_cast<std::uint64_t>(
+                rewrite_rng_.UniformInt(0, static_cast<std::int64_t>(span) - 1));
+    } else if (is_rewrite) {
+      // Append-time rewrites walk the file in order; their garbage dies in
+      // write order and is cheap to reclaim.
+      lba = file.first_lba + (rotor_++ % span);
+    } else {
+      // Overwrites invalidate the blocks actually addressed, so random-
+      // offset overwrite workloads produce scattered invalidation (the
+      // figure 3 cleaning pattern).
+      const std::uint64_t start = (user_offset / config_.block_bytes) % span;
+      lba = file.first_lba + (start + i) % span;
+    }
+    segments_->WriteBlock(lba);
+  }
+  return cost_ms;
+}
+
+double MffsTestbedDevice::WriteChunkMs(std::uint32_t file_id, std::uint64_t offset,
+                                       std::uint32_t bytes, std::uint64_t file_total_bytes,
+                                       double data_ratio) {
+  FileState& file = GetFile(file_id, file_total_bytes);
+  const std::uint64_t stored = config_.compression.StoredBytes(bytes, data_ratio);
+  const std::uint64_t stored_blocks =
+      (stored + config_.block_bytes - 1) / config_.block_bytes;
+
+  // The MFFS 2.00 anomaly: appending also rewrites a slice of everything the
+  // file already holds, so per-write latency climbs with cumulative data
+  // (figure 1).  The slice tracks the file's *user* size: the paper saw the
+  // same growth for compressible and random payloads.
+  const std::uint64_t rewrite_bytes =
+      static_cast<std::uint64_t>(config_.rewrite_fraction * static_cast<double>(file.user_bytes));
+  const std::uint64_t rewrite_blocks = rewrite_bytes / config_.block_bytes;
+
+  double cost_ms = config_.fs_overhead_ms +
+                   (static_cast<double>(stored + rewrite_bytes) / 1024.0) * config_.write_ms_per_kb;
+  const bool is_append = offset >= file.user_bytes;
+  cost_ms += WritePhysicalBlocks(file, stored_blocks, is_append, offset, /*is_rewrite=*/false,
+                                 /*scatter_rewrites=*/false);
+  if (rewrite_blocks > 0) {
+    cost_ms += WritePhysicalBlocks(file, rewrite_blocks, /*extend=*/false, 0,
+                                   /*is_rewrite=*/true, /*scatter_rewrites=*/!is_append);
+  }
+  if (is_append) {
+    file.user_bytes = offset + bytes;
+    file.stored_bytes += stored;
+  }
+  return cost_ms;
+}
+
+double MffsTestbedDevice::ReadChunkMs(std::uint32_t file_id, std::uint64_t offset,
+                                      std::uint32_t bytes, std::uint64_t file_total_bytes,
+                                      double data_ratio) {
+  FileState& file = GetFile(file_id, file_total_bytes);
+  const std::uint64_t stored = config_.compression.StoredBytes(bytes, data_ratio);
+  // Walking the block chain costs time proportional to how deep into the
+  // file the chunk sits.
+  const double chain_kb =
+      static_cast<double>(std::min<std::uint64_t>(offset, file.user_bytes)) / 1024.0;
+  double cost_ms = config_.read_overhead_ms + chain_kb * config_.read_chain_ms_per_kb +
+                   TransferMs(stored, config_.card.read_kbps);
+  if (data_ratio < 1.0) {
+    cost_ms += TransferMs(bytes, config_.compression.decompress_kbps);
+  }
+  return cost_ms;
+}
+
+void MffsTestbedDevice::IdleCleanup() {
+  while (true) {
+    const std::uint32_t victim = segments_->PickVictim(CleaningPolicy::kGreedy);
+    if (victim == SegmentManager::kNoSegment ||
+        segments_->free_slots() < segments_->VictimLiveBlocks(victim)) {
+      return;
+    }
+    cleaning_copies_ += segments_->CleanSegment(victim);
+    ++segment_erases_;
+  }
+}
+
+void MffsTestbedDevice::DeleteFile(std::uint32_t file_id) {
+  const auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    return;
+  }
+  const FileState& file = it->second;
+  for (std::uint64_t i = 0; i < file.lba_blocks; ++i) {
+    if (segments_->IsMapped(file.first_lba + i)) {
+      segments_->TrimBlock(file.first_lba + i);
+    }
+  }
+  files_.erase(it);
+}
+
+}  // namespace mobisim

@@ -1,0 +1,139 @@
+// File-level device behaviour models for the hardware micro-benchmarks.
+//
+// These reproduce the paper's section 3 testbed (an OmniBook 300 under DOS):
+// sequences of file reads and writes against a real device plus its file
+// system and compression software.  Unlike the block-level StorageDevice
+// models, these operate at file granularity and include the *software*
+// behaviours the paper measured -- most notably the MFFS 2.00 anomaly where
+// the cost of appending to a file grows linearly with the data already
+// written (figure 1), and cleaning pressure as a card fills (figure 3).
+#ifndef MOBISIM_SRC_MFFS_TESTBED_DEVICE_H_
+#define MOBISIM_SRC_MFFS_TESTBED_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/device/device_spec.h"
+#include "src/flash/segment_manager.h"
+#include "src/mffs/compression.h"
+#include "src/util/rng.h"
+
+namespace mobisim {
+
+class TestbedDevice {
+ public:
+  virtual ~TestbedDevice() = default;
+
+  // Cost (ms) of writing `bytes` at `offset` of file `file_id`, whose
+  // eventual full size is `file_total_bytes` (known to the benchmark).
+  // `data_ratio` is the compressibility of the payload (1.0 = random).
+  virtual double WriteChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                              std::uint64_t file_total_bytes, double data_ratio) = 0;
+  virtual double ReadChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                             std::uint64_t file_total_bytes, double data_ratio) = 0;
+  virtual void DeleteFile(std::uint32_t file_id) = 0;
+  // Restores the device to its freshly-erased benchmark state.
+  virtual void Format() = 0;
+  // Background housekeeping the device performs while the system is idle
+  // (free of charge to subsequent operations).  No-op by default.
+  virtual void IdleCleanup() {}
+  virtual std::string name() const = 0;
+};
+
+// Conventional device (magnetic disk or flash disk emulator) under DOS,
+// optionally with DoubleSpace/Stacker-style compression.  The disk is taken
+// to be continuously spinning, as in the paper's benchmarks.
+class SimpleTestbedDevice : public TestbedDevice {
+ public:
+  SimpleTestbedDevice(const DeviceSpec& spec, const CompressionModel& compression);
+
+  double WriteChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                      std::uint64_t file_total_bytes, double data_ratio) override;
+  double ReadChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                     std::uint64_t file_total_bytes, double data_ratio) override;
+  void DeleteFile(std::uint32_t file_id) override;
+  void Format() override;
+  std::string name() const override { return spec_.name; }
+
+ private:
+  DeviceSpec spec_;
+  CompressionModel compression_;
+  std::uint32_t last_file_ = ~std::uint32_t{0};
+  std::uint64_t last_end_offset_ = 0;
+};
+
+// Intel flash card under the Microsoft Flash File System 2.00.
+struct MffsConfig {
+  DeviceSpec card;  // raw medium speeds (IntelCardDatasheet())
+  std::uint64_t capacity_bytes = 10ull * 1024 * 1024;
+  std::uint32_t block_bytes = 512;
+  // Fixed file-system overhead per operation (FAT-style chain bookkeeping).
+  double fs_overhead_ms = 3.0;
+  // Marginal cost per Kbyte that reaches the flash, folding in the raw write
+  // and MFFS per-byte software overhead (derived from Table 1: ~44 KB/s
+  // marginal on the 25-MHz host).
+  double write_ms_per_kb = 22.5;
+  // The MFFS 2.00 anomaly: each append also rewrites this fraction of the
+  // file's already-written (user) data, so write latency grows linearly with
+  // file size (figure 1).
+  double rewrite_fraction = 0.009;
+  // Reads walk the file's block chain: per-Kbyte-of-preceding-data cost.
+  double read_chain_ms_per_kb = 0.2;
+  double read_overhead_ms = 5.8;
+  CompressionModel compression;  // MFFS compresses unconditionally
+};
+
+class MffsTestbedDevice : public TestbedDevice {
+ public:
+  explicit MffsTestbedDevice(const MffsConfig& config);
+
+  double WriteChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                      std::uint64_t file_total_bytes, double data_ratio) override;
+  double ReadChunkMs(std::uint32_t file_id, std::uint64_t offset, std::uint32_t bytes,
+                     std::uint64_t file_total_bytes, double data_ratio) override;
+  void DeleteFile(std::uint32_t file_id) override;
+  void Format() override;
+  std::string name() const override { return "intel-mffs2.00"; }
+
+  // MFFS cleans asynchronously when the system is idle: reclaims every
+  // segment with invalid data, free of charge to the subsequent operations.
+  // Benchmarks call this between setup and measurement phases.
+  void IdleCleanup() override;
+
+  std::uint64_t cleaning_copies() const { return cleaning_copies_; }
+  std::uint64_t segment_erases() const { return segment_erases_; }
+
+ private:
+  struct FileState {
+    std::uint64_t first_lba = 0;
+    std::uint64_t lba_blocks = 0;    // reserved logical range
+    std::uint64_t user_bytes = 0;    // uncompressed file size so far
+    std::uint64_t stored_bytes = 0;  // compressed bytes currently stored
+  };
+
+  FileState& GetFile(std::uint32_t file_id, std::uint64_t file_total_bytes);
+  // Writes `blocks` physical blocks (cleaning on demand).  Appends extend
+  // the file's block range; overwrites start at the block holding
+  // `user_offset`; anomaly rewrites (user_offset < 0 semantics via
+  // `is_rewrite`) cycle through existing blocks.  Returns cleaning cost (ms).
+  double WritePhysicalBlocks(FileState& file, std::uint64_t blocks, bool extend,
+                             std::uint64_t user_offset, bool is_rewrite,
+                             bool scatter_rewrites);
+
+  MffsConfig config_;
+  std::unique_ptr<SegmentManager> segments_;
+  std::unordered_map<std::uint32_t, FileState> files_;
+  std::uint64_t next_lba_ = 0;
+  std::uint64_t cleaning_copies_ = 0;
+  std::uint64_t segment_erases_ = 0;
+  Rng rewrite_rng_{0x4d46465332ull};  // placement of scattered anomaly rewrites
+  std::uint64_t rotor_ = 0;           // placement of sequential (append-time) rewrites
+};
+
+MffsConfig DefaultMffsConfig();
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_MFFS_TESTBED_DEVICE_H_

@@ -1,0 +1,31 @@
+#include "src/power/battery.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+Battery::Battery(const BatteryConfig& config) : config_(config) {
+  MOBISIM_CHECK(config.nominal_wh > 0.0);
+  MOBISIM_CHECK(config.nominal_load_w > 0.0);
+  MOBISIM_CHECK(config.peukert_exponent >= 1.0);
+}
+
+double Battery::EffectiveWh(double load_w) const {
+  MOBISIM_CHECK(load_w > 0.0);
+  // Peukert: t = C / I^k normalized at the nominal rate; in watt terms,
+  // capacity scales by (nominal/load)^(k-1).
+  const double ratio = config_.nominal_load_w / load_w;
+  return config_.nominal_wh * std::pow(ratio, config_.peukert_exponent - 1.0);
+}
+
+double Battery::LifetimeHours(double load_w) const {
+  return EffectiveWh(load_w) / load_w;
+}
+
+double Battery::ExtensionVs(double base_load_w, double new_load_w) const {
+  return LifetimeHours(new_load_w) / LifetimeHours(base_load_w) - 1.0;
+}
+
+}  // namespace mobisim

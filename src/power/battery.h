@@ -1,0 +1,41 @@
+// Battery lifetime model.
+//
+// The paper's bottom line is battery life ("these energy savings can
+// translate into a 22% extension of battery life").  This module turns
+// simulated storage energy into battery hours: a pack has a nominal
+// watt-hour capacity specified at a nominal discharge rate, and real
+// chemistry delivers less at higher rates (Peukert's law), so shaving watts
+// extends life slightly super-linearly.
+#ifndef MOBISIM_SRC_POWER_BATTERY_H_
+#define MOBISIM_SRC_POWER_BATTERY_H_
+
+namespace mobisim {
+
+struct BatteryConfig {
+  // Typical early-90s notebook NiMH pack.
+  double nominal_wh = 24.0;
+  // Discharge rate at which the nominal capacity is specified.
+  double nominal_load_w = 12.0;
+  // Peukert exponent; 1.0 = ideal battery, NiMH ~1.05-1.15.
+  double peukert_exponent = 1.10;
+};
+
+class Battery {
+ public:
+  explicit Battery(const BatteryConfig& config);
+
+  // Hours of runtime under a constant load (watts > 0).
+  double LifetimeHours(double load_w) const;
+  // Effective deliverable capacity (Wh) at the given load.
+  double EffectiveWh(double load_w) const;
+  // Relative battery-life extension of `new_load_w` vs `base_load_w`
+  // (0.22 = 22% longer).
+  double ExtensionVs(double base_load_w, double new_load_w) const;
+
+ private:
+  BatteryConfig config_;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_POWER_BATTERY_H_

@@ -1,0 +1,122 @@
+#include "src/trace/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mobisim {
+
+namespace {
+
+constexpr char kMagic[] = "mobisim-trace v1";
+
+char OpChar(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return 'r';
+    case OpType::kWrite:
+      return 'w';
+    case OpType::kErase:
+      return 'e';
+  }
+  return '?';
+}
+
+bool ParseOp(char c, OpType* op) {
+  switch (c) {
+    case 'r':
+      *op = OpType::kRead;
+      return true;
+    case 'w':
+      *op = OpType::kWrite;
+      return true;
+    case 'e':
+      *op = OpType::kErase;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+}  // namespace
+
+void WriteTrace(const Trace& trace, std::ostream& out) {
+  out << kMagic << "\n";
+  out << "name " << (trace.name.empty() ? "unnamed" : trace.name) << "\n";
+  out << "block " << trace.block_bytes << "\n";
+  for (const TraceRecord& rec : trace.records) {
+    out << rec.time_us << ' ' << OpChar(rec.op) << ' ' << rec.file_id << ' ' << rec.offset << ' '
+        << rec.size_bytes << "\n";
+  }
+}
+
+std::optional<Trace> ReadTrace(std::istream& in, std::string* error) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    SetError(error, "missing or bad magic line");
+    return std::nullopt;
+  }
+
+  Trace trace;
+  bool have_block = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ls(line);
+    std::string first;
+    ls >> first;
+    if (first == "name") {
+      ls >> trace.name;
+      continue;
+    }
+    if (first == "block") {
+      ls >> trace.block_bytes;
+      if (trace.block_bytes == 0) {
+        SetError(error, "block size must be positive");
+        return std::nullopt;
+      }
+      have_block = true;
+      continue;
+    }
+    TraceRecord rec;
+    char op_char = 0;
+    std::istringstream rs(line);
+    rs >> rec.time_us >> op_char >> rec.file_id >> rec.offset >> rec.size_bytes;
+    if (rs.fail() || !ParseOp(op_char, &rec.op)) {
+      SetError(error, "malformed record: " + line);
+      return std::nullopt;
+    }
+    trace.records.push_back(rec);
+  }
+  if (!have_block) {
+    SetError(error, "missing block-size header");
+    return std::nullopt;
+  }
+  return trace;
+}
+
+bool WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteTrace(trace, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> ReadTraceFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return ReadTrace(in, error);
+}
+
+}  // namespace mobisim

@@ -1,0 +1,30 @@
+// Text serialization for file-level traces.
+//
+// Format (one record per line, '#' comments allowed):
+//   mobisim-trace v1
+//   name <string>
+//   block <bytes>
+//   <time_us> <r|w|e> <file_id> <offset> <size>
+#ifndef MOBISIM_SRC_TRACE_TRACE_IO_H_
+#define MOBISIM_SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "src/trace/trace_record.h"
+
+namespace mobisim {
+
+void WriteTrace(const Trace& trace, std::ostream& out);
+// Returns std::nullopt on malformed input; the error is described in
+// `error` when non-null.
+std::optional<Trace> ReadTrace(std::istream& in, std::string* error = nullptr);
+
+// File-path convenience wrappers.
+bool WriteTraceFile(const Trace& trace, const std::string& path);
+std::optional<Trace> ReadTraceFile(const std::string& path, std::string* error = nullptr);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_TRACE_TRACE_IO_H_

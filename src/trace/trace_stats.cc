@@ -1,0 +1,67 @@
+#include "src/trace/trace_stats.h"
+
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+TraceStats ComputeTraceStats(const Trace& trace, double skip_fraction) {
+  MOBISIM_CHECK(skip_fraction >= 0.0 && skip_fraction < 1.0);
+  TraceStats stats;
+  stats.block_bytes = trace.block_bytes;
+  if (trace.records.empty()) {
+    return stats;
+  }
+
+  const std::size_t first = static_cast<std::size_t>(
+      skip_fraction * static_cast<double>(trace.records.size()));
+  if (first >= trace.records.size()) {
+    return stats;
+  }
+
+  const std::uint64_t block = trace.block_bytes;
+  // Distinct 1-Kbyte units touched, keyed by (file, kbyte-within-file).
+  std::unordered_set<std::uint64_t> distinct_kb;
+  SimTime prev_time = trace.records[first].time_us;
+  SimTime start_time = prev_time;
+  SimTime end_time = prev_time;
+
+  for (std::size_t i = first; i < trace.records.size(); ++i) {
+    const TraceRecord& rec = trace.records[i];
+    end_time = rec.time_us;
+    if (i > first) {
+      stats.interarrival_sec.Add(SecFromUs(rec.time_us - prev_time));
+    }
+    prev_time = rec.time_us;
+
+    if (rec.op == OpType::kErase) {
+      ++stats.erase_count;
+      continue;
+    }
+    const double blocks =
+        static_cast<double>((rec.offset % block + rec.size_bytes + block - 1) / block);
+    if (rec.op == OpType::kRead) {
+      ++stats.read_count;
+      stats.read_blocks.Add(blocks);
+    } else {
+      ++stats.write_count;
+      stats.write_blocks.Add(blocks);
+    }
+    const std::uint64_t first_kb = rec.offset / 1024;
+    const std::uint64_t last_kb = (rec.offset + std::max<std::uint64_t>(rec.size_bytes, 1) - 1) /
+                                  1024;
+    for (std::uint64_t kb = first_kb; kb <= last_kb; ++kb) {
+      distinct_kb.insert((static_cast<std::uint64_t>(rec.file_id) << 32) | kb);
+    }
+  }
+
+  stats.duration_sec = SecFromUs(end_time - start_time);
+  stats.distinct_kbytes = distinct_kb.size();
+  const std::uint64_t rw = stats.read_count + stats.write_count;
+  stats.read_fraction =
+      rw == 0 ? 0.0 : static_cast<double>(stats.read_count) / static_cast<double>(rw);
+  return stats;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,37 @@
+// Workload statistics in the shape of the paper's Table 3.
+#ifndef MOBISIM_SRC_TRACE_TRACE_STATS_H_
+#define MOBISIM_SRC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+
+#include "src/trace/trace_record.h"
+#include "src/util/stats.h"
+
+namespace mobisim {
+
+struct TraceStats {
+  // Wall-clock span of the analysed records, in seconds.
+  double duration_sec = 0.0;
+  // Unique Kbytes touched by any read or write.
+  std::uint64_t distinct_kbytes = 0;
+  // Fraction of read operations among reads+writes.
+  double read_fraction = 0.0;
+  std::uint32_t block_bytes = 0;
+  // Sizes in file-system blocks.
+  RunningStats read_blocks;
+  RunningStats write_blocks;
+  // Inter-arrival time in seconds across all operations.
+  RunningStats interarrival_sec;
+  std::uint64_t read_count = 0;
+  std::uint64_t write_count = 0;
+  std::uint64_t erase_count = 0;
+};
+
+// Computes Table-3-style statistics.  `skip_fraction` drops the leading part
+// of the trace first (the paper reports statistics for the 90% that remains
+// after the warm start, i.e. skip_fraction = 0.1).
+TraceStats ComputeTraceStats(const Trace& trace, double skip_fraction = 0.0);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_TRACE_TRACE_STATS_H_

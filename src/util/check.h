@@ -1,0 +1,37 @@
+// Lightweight invariant checking for mobisim.
+//
+// MOBISIM_CHECK is always on (simulation correctness beats nanoseconds here);
+// MOBISIM_DCHECK compiles out in NDEBUG builds.  Failures print the condition
+// and location then abort, which is the right behaviour for a simulator: a
+// violated invariant means every number printed afterwards would be garbage.
+#ifndef MOBISIM_SRC_UTIL_CHECK_H_
+#define MOBISIM_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mobisim {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "MOBISIM_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+
+}  // namespace mobisim
+
+#define MOBISIM_CHECK(cond)                                 \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::mobisim::CheckFailed(#cond, __FILE__, __LINE__);    \
+    }                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define MOBISIM_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define MOBISIM_DCHECK(cond) MOBISIM_CHECK(cond)
+#endif
+
+#endif  // MOBISIM_SRC_UTIL_CHECK_H_

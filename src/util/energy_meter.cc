@@ -1,0 +1,60 @@
+#include "src/util/energy_meter.h"
+
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+EnergyMeter::EnergyMeter(std::vector<Mode> modes)
+    : modes_(std::move(modes)), joules_(modes_.size(), 0.0), time_us_(modes_.size(), 0) {
+  MOBISIM_CHECK(!modes_.empty());
+}
+
+void EnergyMeter::Accumulate(std::size_t mode, SimTime duration_us) {
+  MOBISIM_DCHECK(mode < modes_.size());
+  MOBISIM_DCHECK(duration_us >= 0);
+  time_us_[mode] += duration_us;
+  joules_[mode] += modes_[mode].power_w * SecFromUs(duration_us);
+}
+
+void EnergyMeter::AccumulateJoules(std::size_t mode, double joules) {
+  MOBISIM_DCHECK(mode < modes_.size());
+  joules_[mode] += joules;
+}
+
+double EnergyMeter::total_joules() const {
+  double total = 0.0;
+  for (const double j : joules_) {
+    total += j;
+  }
+  return total;
+}
+
+double EnergyMeter::mode_joules(std::size_t mode) const {
+  MOBISIM_DCHECK(mode < modes_.size());
+  return joules_[mode];
+}
+
+SimTime EnergyMeter::mode_time_us(std::size_t mode) const {
+  MOBISIM_DCHECK(mode < modes_.size());
+  return time_us_[mode];
+}
+
+const std::string& EnergyMeter::mode_name(std::size_t mode) const {
+  MOBISIM_DCHECK(mode < modes_.size());
+  return modes_[mode].name;
+}
+
+std::string EnergyMeter::Breakdown() const {
+  std::string out;
+  char buf[96];
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%s=%.1fJ", i == 0 ? "" : " ", modes_[i].name.c_str(),
+                  joules_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,48 @@
+// Per-component energy accounting.
+//
+// Every powered component (storage device, DRAM cache, SRAM buffer) owns an
+// EnergyMeter configured with its operating modes and the power drawn in
+// each.  Energy is integrated as mode-power x time-in-mode, mirroring the
+// methodology of Douglis et al. (OSDI '94), section 4.2.
+#ifndef MOBISIM_SRC_UTIL_ENERGY_METER_H_
+#define MOBISIM_SRC_UTIL_ENERGY_METER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace mobisim {
+
+class EnergyMeter {
+ public:
+  struct Mode {
+    std::string name;
+    double power_w = 0.0;
+  };
+
+  explicit EnergyMeter(std::vector<Mode> modes);
+
+  // Accounts `duration_us` spent in `mode` (index into the constructor list).
+  void Accumulate(std::size_t mode, SimTime duration_us);
+  // Accounts a fixed energy cost (e.g. per-byte DRAM access energy).
+  void AccumulateJoules(std::size_t mode, double joules);
+
+  double total_joules() const;
+  double mode_joules(std::size_t mode) const;
+  SimTime mode_time_us(std::size_t mode) const;
+  const std::string& mode_name(std::size_t mode) const;
+  std::size_t mode_count() const { return modes_.size(); }
+
+  // Human-readable one-line breakdown, e.g. "idle=8820.0J active=34.1J".
+  std::string Breakdown() const;
+
+ private:
+  std::vector<Mode> modes_;
+  std::vector<double> joules_;
+  std::vector<SimTime> time_us_;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_ENERGY_METER_H_

@@ -1,0 +1,121 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Rng::NextU32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint64_t Rng::NextU64() {
+  return (static_cast<std::uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  MOBISIM_DCHECK(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  MOBISIM_DCHECK(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    return static_cast<std::int64_t>(NextU64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t value = NextU64();
+  while (value >= limit) {
+    value = NextU64();
+  }
+  return lo + static_cast<std::int64_t>(value % range);
+}
+
+double Rng::Exponential(double mean) {
+  MOBISIM_DCHECK(mean > 0.0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) {
+    u = 1e-300;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) {
+    u1 = 1e-300;
+  }
+  const double u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::LogNormal(double mu, double sigma) { return std::exp(Normal(mu, sigma)); }
+
+bool Rng::Chance(double probability) { return NextDouble() < probability; }
+
+Rng Rng::Fork() { return Rng(NextU64(), NextU64() >> 1); }
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  MOBISIM_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) {
+    v /= total;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  MOBISIM_CHECK(!weights.empty());
+  cdf_ = std::move(weights);
+  double total = 0.0;
+  for (double& w : cdf_) {
+    MOBISIM_CHECK(w >= 0.0);
+    total += w;
+    w = total;
+  }
+  MOBISIM_CHECK(total > 0.0);
+  for (double& w : cdf_) {
+    w /= total;
+  }
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteDistribution::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace mobisim

@@ -1,0 +1,76 @@
+// Deterministic random number generation for workload synthesis.
+//
+// mobisim uses a self-contained PCG32 generator rather than <random> engines
+// so that traces are bit-identical across standard library implementations.
+// All distributions used by the workload generators live here too.
+#ifndef MOBISIM_SRC_UTIL_RNG_H_
+#define MOBISIM_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mobisim {
+
+// PCG32 (Melissa O'Neill's pcg32_random_r), a small fast statistically-good
+// generator with a 64-bit state and 64-bit stream selector.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  // Uniform 32-bit value.
+  std::uint32_t NextU32();
+  // Uniform 64-bit value.
+  std::uint64_t NextU64();
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+  // Standard normal via Box-Muller (no cached spare: stays stateless).
+  double Normal(double mean, double stddev);
+  // Log-normal parameterized directly by the *target* mean and sigma of the
+  // underlying normal; convenience for heavy-tailed inter-arrival times.
+  double LogNormal(double mu, double sigma);
+  // Bernoulli trial.
+  bool Chance(double probability);
+
+  // Creates an independent generator derived from this one (for giving each
+  // workload component its own stream without coupling draw orders).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+// Zipf(s) sampler over {0, ..., n-1} using a precomputed CDF and binary
+// search.  s = 0 degenerates to uniform; larger s skews toward low ranks.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Weighted discrete choice over a fixed set of weights.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_RNG_H_

@@ -1,0 +1,41 @@
+// Simulation time base for mobisim.
+//
+// All simulation timestamps and durations are integral microseconds.  The
+// simulator is entirely discrete: there is no wall clock anywhere in the
+// core, which keeps runs deterministic and replayable.
+#ifndef MOBISIM_SRC_UTIL_SIM_TIME_H_
+#define MOBISIM_SRC_UTIL_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace mobisim {
+
+// Microseconds since the start of a simulation (or a duration in us).
+using SimTime = std::int64_t;
+
+constexpr SimTime kUsPerMs = 1000;
+constexpr SimTime kUsPerSec = 1000 * 1000;
+
+constexpr SimTime UsFromMs(double ms) { return static_cast<SimTime>(ms * kUsPerMs); }
+constexpr SimTime UsFromSec(double sec) { return static_cast<SimTime>(sec * kUsPerSec); }
+
+constexpr double MsFromUs(SimTime us) { return static_cast<double>(us) / kUsPerMs; }
+constexpr double SecFromUs(SimTime us) { return static_cast<double>(us) / kUsPerSec; }
+
+// Time to move `bytes` at `kbytes_per_sec` (1 Kbyte = 1024 bytes, matching the
+// device datasheets the paper quotes).  Returns 0 for zero-byte transfers and
+// saturates rather than dividing by a zero bandwidth.
+constexpr SimTime TransferTimeUs(std::uint64_t bytes, double kbytes_per_sec) {
+  if (bytes == 0) {
+    return 0;
+  }
+  if (kbytes_per_sec <= 0.0) {
+    return 0;
+  }
+  const double seconds = static_cast<double>(bytes) / (kbytes_per_sec * 1024.0);
+  return static_cast<SimTime>(seconds * kUsPerSec);
+}
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_SIM_TIME_H_

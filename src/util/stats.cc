@@ -1,0 +1,130 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+void RunningStats::Add(double value) {
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_state_(seed * 6364136223846793005ULL + 1442695040888963407ULL) {
+  MOBISIM_CHECK(capacity > 0);
+  values_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void ReservoirSample::Add(double value) {
+  ++seen_;
+  if (values_.size() < capacity_) {
+    values_.push_back(value);
+    return;
+  }
+  // Vitter's algorithm R with a splitmix-style generator.
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % seen_;
+  if (slot < values_.size()) {
+    values_[slot] = value;
+  }
+}
+
+double ReservoirSample::Quantile(double q) const {
+  MOBISIM_CHECK(q >= 0.0 && q <= 1.0);
+  if (values_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double bucket_width, std::size_t bucket_count)
+    : lo_(lo), width_(bucket_width), counts_(bucket_count, 0) {
+  MOBISIM_CHECK(bucket_width > 0.0);
+  MOBISIM_CHECK(bucket_count > 0);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  const double offset = (value - lo_) / width_;
+  if (offset >= static_cast<double>(counts_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[static_cast<std::size_t>(offset)];
+}
+
+double Histogram::Quantile(double q) const {
+  MOBISIM_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) {
+    return lo_;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double fraction = (target - cumulative) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + fraction * width_;
+    }
+    cumulative = next;
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+}  // namespace mobisim

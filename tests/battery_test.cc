@@ -1,0 +1,57 @@
+// Tests for the battery lifetime model.
+#include <gtest/gtest.h>
+
+#include "src/power/battery.h"
+
+namespace mobisim {
+namespace {
+
+TEST(BatteryTest, IdealBatteryIsLinear) {
+  BatteryConfig config;
+  config.nominal_wh = 20.0;
+  config.nominal_load_w = 10.0;
+  config.peukert_exponent = 1.0;
+  const Battery battery(config);
+  EXPECT_DOUBLE_EQ(battery.LifetimeHours(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(battery.LifetimeHours(5.0), 4.0);
+  EXPECT_DOUBLE_EQ(battery.EffectiveWh(20.0), 20.0);
+}
+
+TEST(BatteryTest, PeukertPenalizesHighDischarge) {
+  BatteryConfig config;
+  config.nominal_wh = 24.0;
+  config.nominal_load_w = 12.0;
+  config.peukert_exponent = 1.10;
+  const Battery battery(config);
+  // At the nominal rate the pack delivers its rating.
+  EXPECT_NEAR(battery.EffectiveWh(12.0), 24.0, 1e-9);
+  // Faster discharge delivers less, slower delivers more.
+  EXPECT_LT(battery.EffectiveWh(24.0), 24.0);
+  EXPECT_GT(battery.EffectiveWh(6.0), 24.0);
+}
+
+TEST(BatteryTest, ExtensionIsSuperLinear) {
+  const Battery battery(BatteryConfig{});
+  // Cutting the load 20% extends life by MORE than 25% (1/0.8 - 1) because
+  // the lighter rate also unlocks extra capacity.
+  const double extension = battery.ExtensionVs(12.0, 12.0 * 0.8);
+  EXPECT_GT(extension, 0.25);
+  EXPECT_LT(extension, 0.40);
+  // No change, no extension.
+  EXPECT_NEAR(battery.ExtensionVs(10.0, 10.0), 0.0, 1e-12);
+}
+
+TEST(BatteryTest, PaperScaleSanity) {
+  // Storage at 30% of a 12-W system; flash cuts storage power 90%: the
+  // system drops to ~8.8 W and the pack should last ~20-40% longer --
+  // bracketing the paper's 22%.
+  const Battery battery(BatteryConfig{});
+  const double base_w = 12.0;
+  const double flash_w = 12.0 * 0.70 + 12.0 * 0.30 * 0.10;
+  const double extension = battery.ExtensionVs(base_w, flash_w);
+  EXPECT_GT(extension, 0.20);
+  EXPECT_LT(extension, 0.45);
+}
+
+}  // namespace
+}  // namespace mobisim

@@ -1,0 +1,163 @@
+// Unit tests for the DRAM buffer cache and the SRAM write buffer.
+#include <gtest/gtest.h>
+
+#include "src/cache/buffer_cache.h"
+#include "src/cache/sram_write_buffer.h"
+#include "src/device/device_catalog.h"
+
+namespace mobisim {
+namespace {
+
+// ------------------------------- BufferCache --------------------------------
+
+TEST(BufferCacheTest, ZeroCapacityIsDisabled) {
+  BufferCache cache(NecDramSpec(), 0, 1024);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.ReadHit(0, 1));
+  cache.Insert(0, 4);  // must be a no-op, not a crash
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+}
+
+TEST(BufferCacheTest, MissThenHit) {
+  BufferCache cache(NecDramSpec(), 8 * 1024, 1024);
+  EXPECT_FALSE(cache.ReadHit(10, 2));
+  cache.Insert(10, 2);
+  EXPECT_TRUE(cache.ReadHit(10, 2));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BufferCacheTest, PartialRangeIsMiss) {
+  BufferCache cache(NecDramSpec(), 8 * 1024, 1024);
+  cache.Insert(0, 3);
+  EXPECT_FALSE(cache.ReadHit(0, 4));  // block 3 missing
+  EXPECT_TRUE(cache.ReadHit(0, 3));
+}
+
+TEST(BufferCacheTest, LruEviction) {
+  BufferCache cache(NecDramSpec(), 4 * 1024, 1024);  // 4 blocks
+  cache.Insert(0, 4);                                 // 0,1,2,3
+  EXPECT_TRUE(cache.ReadHit(0, 1));                   // 0 is now most recent
+  cache.Insert(100, 1);                               // evicts LRU = 1
+  EXPECT_TRUE(cache.ReadHit(0, 1));
+  EXPECT_FALSE(cache.ReadHit(1, 1));
+  EXPECT_TRUE(cache.ReadHit(2, 1));
+  EXPECT_TRUE(cache.ReadHit(100, 1));
+}
+
+TEST(BufferCacheTest, InvalidateRange) {
+  BufferCache cache(NecDramSpec(), 8 * 1024, 1024);
+  cache.Insert(0, 8);
+  cache.InvalidateRange(2, 3);
+  EXPECT_TRUE(cache.ReadHit(0, 2));
+  EXPECT_FALSE(cache.ReadHit(2, 1));
+  EXPECT_FALSE(cache.ReadHit(4, 1));
+  EXPECT_TRUE(cache.ReadHit(5, 3));
+}
+
+TEST(BufferCacheTest, ReinsertRefreshesNotDuplicates) {
+  BufferCache cache(NecDramSpec(), 4 * 1024, 1024);
+  cache.Insert(0, 2);
+  cache.Insert(0, 2);
+  EXPECT_EQ(cache.cached_blocks(), 2u);
+}
+
+TEST(BufferCacheTest, RefreshEnergyScalesWithTimeAndSize) {
+  MemorySpec spec = NecDramSpec();
+  spec.idle_w_per_mbyte = 0.010;
+  BufferCache one_mb(spec, 1024 * 1024, 1024);
+  BufferCache two_mb(spec, 2 * 1024 * 1024, 1024);
+  one_mb.AccountUntil(UsFromSec(100));
+  two_mb.AccountUntil(UsFromSec(100));
+  EXPECT_NEAR(one_mb.energy().total_joules(), 1.0, 1e-6);
+  EXPECT_NEAR(two_mb.energy().total_joules(), 2.0, 1e-6);
+  // Accounting is monotonic: going backwards adds nothing.
+  two_mb.AccountUntil(UsFromSec(50));
+  EXPECT_NEAR(two_mb.energy().total_joules(), 2.0, 1e-6);
+}
+
+TEST(BufferCacheTest, AccessTimeMatchesBandwidth) {
+  MemorySpec spec = NecDramSpec();
+  BufferCache cache(spec, 1024 * 1024, 1024);
+  EXPECT_EQ(cache.AccessTime(0), 0);
+  const SimTime t = cache.AccessTime(25 * 1024 * 1024);  // one second at 25 MB/s
+  EXPECT_NEAR(static_cast<double>(t), static_cast<double>(kUsPerSec), 1000.0);
+}
+
+// ----------------------------- SramWriteBuffer ------------------------------
+
+TEST(SramWriteBufferTest, DisabledWhenZero) {
+  SramWriteBuffer sram(NecSramSpec(), 0, 1024);
+  EXPECT_FALSE(sram.enabled());
+  EXPECT_FALSE(sram.Absorb(0, 1));
+  EXPECT_FALSE(sram.ContainsAny(0, 100));
+}
+
+TEST(SramWriteBufferTest, AbsorbUntilFull) {
+  SramWriteBuffer sram(NecSramSpec(), 4 * 1024, 1024);  // 4 blocks
+  EXPECT_TRUE(sram.Absorb(0, 2));
+  EXPECT_TRUE(sram.Absorb(2, 2));
+  EXPECT_FALSE(sram.Absorb(4, 1));  // full
+  EXPECT_EQ(sram.dirty_blocks(), 4u);
+}
+
+TEST(SramWriteBufferTest, RewriteOfBufferedBlockIsFree) {
+  SramWriteBuffer sram(NecSramSpec(), 4 * 1024, 1024);
+  EXPECT_TRUE(sram.Absorb(0, 4));
+  // Same blocks again: fits even though the buffer is "full".
+  EXPECT_TRUE(sram.Absorb(0, 4));
+  EXPECT_TRUE(sram.Absorb(1, 2));
+  EXPECT_EQ(sram.dirty_blocks(), 4u);
+}
+
+TEST(SramWriteBufferTest, ContainsAllAndAny) {
+  SramWriteBuffer sram(NecSramSpec(), 8 * 1024, 1024);
+  sram.Absorb(10, 3);
+  EXPECT_TRUE(sram.ContainsAll(10, 3));
+  EXPECT_TRUE(sram.ContainsAll(11, 2));
+  EXPECT_FALSE(sram.ContainsAll(10, 4));
+  EXPECT_TRUE(sram.ContainsAny(12, 5));
+  EXPECT_FALSE(sram.ContainsAny(13, 5));
+  EXPECT_FALSE(sram.ContainsAll(20, 0));  // empty range is not a hit
+}
+
+TEST(SramWriteBufferTest, DrainCoalescesRuns) {
+  SramWriteBuffer sram(NecSramSpec(), 16 * 1024, 1024);
+  sram.Absorb(5, 2);   // 5,6
+  sram.Absorb(9, 1);   // 9
+  sram.Absorb(7, 2);   // 7,8 -> now 5..9 contiguous
+  sram.Absorb(20, 1);  // separate run
+  const auto ranges = sram.Drain();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].lba, 5u);
+  EXPECT_EQ(ranges[0].count, 5u);
+  EXPECT_EQ(ranges[1].lba, 20u);
+  EXPECT_EQ(ranges[1].count, 1u);
+  EXPECT_EQ(sram.dirty_blocks(), 0u);
+  EXPECT_EQ(sram.flushes(), 1u);
+  // Draining an empty buffer reports nothing and counts no flush.
+  EXPECT_TRUE(sram.Drain().empty());
+  EXPECT_EQ(sram.flushes(), 1u);
+}
+
+TEST(SramWriteBufferTest, DiscardDropsBlocks) {
+  SramWriteBuffer sram(NecSramSpec(), 8 * 1024, 1024);
+  sram.Absorb(0, 4);
+  sram.Discard(1, 2);
+  EXPECT_EQ(sram.dirty_blocks(), 2u);
+  const auto ranges = sram.Drain();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].lba, 0u);
+  EXPECT_EQ(ranges[1].lba, 3u);
+}
+
+TEST(SramWriteBufferTest, RetentionEnergyAccrues) {
+  MemorySpec spec = NecSramSpec();
+  spec.idle_w_per_mbyte = 0.001;
+  SramWriteBuffer sram(spec, 1024 * 1024, 1024);
+  sram.AccountUntil(UsFromSec(1000));
+  EXPECT_NEAR(sram.energy().total_joules(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mobisim

@@ -1,0 +1,122 @@
+// Tests for the text configuration parser.
+#include <gtest/gtest.h>
+
+#include "src/core/config_text.h"
+#include "src/core/simulator.h"
+
+namespace mobisim {
+namespace {
+
+TEST(ParseSizeTest, SuffixesAndPlainBytes) {
+  EXPECT_EQ(ParseSize("1024"), 1024u);
+  EXPECT_EQ(ParseSize("32k"), 32u * 1024);
+  EXPECT_EQ(ParseSize("2m"), 2u * 1024 * 1024);
+  EXPECT_EQ(ParseSize("1g"), 1ull * 1024 * 1024 * 1024);
+  EXPECT_EQ(ParseSize("1.5m"), static_cast<std::uint64_t>(1.5 * 1024 * 1024));
+  EXPECT_EQ(ParseSize(" 64K "), 64u * 1024);
+  EXPECT_FALSE(ParseSize("abc").has_value());
+  EXPECT_FALSE(ParseSize("").has_value());
+  EXPECT_FALSE(ParseSize("-5k").has_value());
+}
+
+TEST(ParseBoolTest, Variants) {
+  EXPECT_EQ(ParseBool("true"), true);
+  EXPECT_EQ(ParseBool("ON"), true);
+  EXPECT_EQ(ParseBool("0"), false);
+  EXPECT_EQ(ParseBool("no"), false);
+  EXPECT_FALSE(ParseBool("maybe").has_value());
+}
+
+TEST(DeviceByNameTest, FindsCatalogEntries) {
+  EXPECT_TRUE(DeviceByName("cu140-datasheet").has_value());
+  EXPECT_TRUE(DeviceByName("intel-series2plus-datasheet").has_value());
+  EXPECT_FALSE(DeviceByName("floppy").has_value());
+}
+
+TEST(ApplyAssignmentTest, SetsFields) {
+  SimConfig config;
+  std::string error;
+  EXPECT_TRUE(ApplyConfigAssignment(&config, "device", "sdp5a-datasheet", &error));
+  EXPECT_EQ(config.device.name, "sdp5a-datasheet");
+  EXPECT_TRUE(ApplyConfigAssignment(&config, "dram", "4m", &error));
+  EXPECT_EQ(config.dram_bytes, 4u * 1024 * 1024);
+  EXPECT_TRUE(ApplyConfigAssignment(&config, "utilization", "0.9", &error));
+  EXPECT_DOUBLE_EQ(config.flash_utilization, 0.9);
+  EXPECT_TRUE(ApplyConfigAssignment(&config, "spin_down", "2.5", &error));
+  EXPECT_EQ(config.spin_down_after_us, UsFromSec(2.5));
+  EXPECT_TRUE(ApplyConfigAssignment(&config, "cleaning_policy", "wear-aware", &error));
+  EXPECT_EQ(config.cleaning_policy, CleaningPolicy::kWearAware);
+  EXPECT_TRUE(ApplyConfigAssignment(&config, "write_back", "true", &error));
+  EXPECT_TRUE(config.write_back_cache);
+  EXPECT_TRUE(ApplyConfigAssignment(&config, "spin_down_policy", "adaptive", &error));
+  EXPECT_EQ(config.spin_down_policy, SpinDownPolicy::kAdaptive);
+}
+
+TEST(ApplyAssignmentTest, RejectsBadValues) {
+  SimConfig config;
+  std::string error;
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "device", "nope", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "utilization", "1.5", &error));
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "dram", "lots", &error));
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "wibble", "1", &error));
+}
+
+TEST(ParseConfigTextTest, FullFile) {
+  const std::string text = R"(
+# experiment: high-utilization flash card
+device = intel-datasheet
+dram = 2m
+utilization = 0.95
+cleaning_policy = cost-benefit
+separate_cleaning = true
+)";
+  std::string error;
+  const auto config = ParseConfigText(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->device.name, "intel-datasheet");
+  EXPECT_DOUBLE_EQ(config->flash_utilization, 0.95);
+  EXPECT_EQ(config->cleaning_policy, CleaningPolicy::kCostBenefit);
+  EXPECT_TRUE(config->separate_cleaning_segment);
+}
+
+TEST(ParseConfigTextTest, ReportsLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(ParseConfigText("device = intel-datasheet\nbogus line\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ApplyConfigArgsTest, SeparatesUnknownTokens) {
+  SimConfig config;
+  std::string error;
+  const auto leftover =
+      ApplyConfigArgs(&config, {"dram=1m", "--verbose", "utilization=0.5"}, &error);
+  EXPECT_TRUE(error.empty());
+  ASSERT_EQ(leftover.size(), 1u);
+  EXPECT_EQ(leftover[0], "--verbose");
+  EXPECT_EQ(config.dram_bytes, 1024u * 1024);
+}
+
+TEST(ParseConfigTextTest, ParsedConfigDrivesASimulation) {
+  const std::string text =
+      "device = sdp5a-datasheet\n"
+      "dram = 1m\n"
+      "utilization = 0.7\n"
+      "async_erasure = true\n";
+  std::string error;
+  const auto config = ParseConfigText(text, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  const SimResult result = RunNamedWorkload("synth", *config, 0.05);
+  EXPECT_GT(result.total_energy_j(), 0.0);
+  EXPECT_GT(result.write_response_ms.count(), 0u);
+}
+
+TEST(DescribeConfigTest, MentionsKeyFields) {
+  SimConfig config = MakePaperConfig(Sdp5Datasheet(), 2 * 1024 * 1024);
+  const std::string text = DescribeConfig(config);
+  EXPECT_NE(text.find("sdp5-datasheet"), std::string::npos);
+  EXPECT_NE(text.find("2048K"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mobisim

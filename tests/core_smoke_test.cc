@@ -1,0 +1,32 @@
+// End-to-end smoke tests: every device model runs every workload without
+// violating basic sanity properties.
+#include <gtest/gtest.h>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+
+namespace mobisim {
+namespace {
+
+TEST(CoreSmokeTest, AllDevicesRunSynthWorkload) {
+  for (const DeviceSpec& spec : AllDeviceSpecs()) {
+    SimConfig config = MakePaperConfig(spec, 2 * 1024 * 1024);
+    const SimResult result = RunNamedWorkload("synth", config, /*scale=*/0.2);
+    EXPECT_GT(result.total_energy_j(), 0.0) << spec.name;
+    EXPECT_GT(result.read_response_ms.count(), 0u) << spec.name;
+    EXPECT_GT(result.write_response_ms.count(), 0u) << spec.name;
+    EXPECT_GE(result.read_response_ms.min(), 0.0) << spec.name;
+    EXPECT_GE(result.write_response_ms.min(), 0.0) << spec.name;
+  }
+}
+
+TEST(CoreSmokeTest, FlashUsesLessEnergyThanDisk) {
+  SimConfig disk = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
+  SimConfig card = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+  const SimResult disk_result = RunNamedWorkload("synth", disk, 0.2);
+  const SimResult card_result = RunNamedWorkload("synth", card, 0.2);
+  EXPECT_LT(card_result.total_energy_j(), disk_result.total_energy_j());
+}
+
+}  // namespace
+}  // namespace mobisim

@@ -1,0 +1,114 @@
+// Guards the device catalog against drift: the datasheet specs must match
+// the paper's Table 2 (and section 2/5.3 for the newer parts) exactly, and
+// the measured specs must be consistent with Table 1 arithmetic.
+#include <gtest/gtest.h>
+
+#include "src/device/device_catalog.h"
+#include "src/util/sim_time.h"
+
+namespace mobisim {
+namespace {
+
+TEST(CatalogTest, Cu140MatchesTable2) {
+  const DeviceSpec s = Cu140Datasheet();
+  EXPECT_EQ(s.kind, DeviceKind::kMagneticDisk);
+  EXPECT_DOUBLE_EQ(s.read_overhead_ms, 25.7);
+  EXPECT_DOUBLE_EQ(s.read_kbps, 2125.0);
+  EXPECT_DOUBLE_EQ(s.spinup_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(s.read_w, 1.75);
+  EXPECT_DOUBLE_EQ(s.idle_w, 0.7);
+  EXPECT_DOUBLE_EQ(s.spinup_w, 3.0);
+}
+
+TEST(CatalogTest, Sdp10MatchesTable2) {
+  const DeviceSpec s = Sdp10Datasheet();
+  EXPECT_EQ(s.kind, DeviceKind::kFlashDisk);
+  EXPECT_DOUBLE_EQ(s.read_overhead_ms, 1.5);
+  EXPECT_DOUBLE_EQ(s.write_overhead_ms, 1.5);
+  EXPECT_DOUBLE_EQ(s.read_kbps, 600.0);
+  EXPECT_DOUBLE_EQ(s.write_kbps, 50.0);
+  EXPECT_DOUBLE_EQ(s.read_w, 0.36);
+  EXPECT_EQ(s.erase_segment_bytes, 512u);  // sector-granular erasure
+}
+
+TEST(CatalogTest, IntelCardMatchesTable2) {
+  const DeviceSpec s = IntelCardDatasheet();
+  EXPECT_EQ(s.kind, DeviceKind::kFlashCard);
+  EXPECT_DOUBLE_EQ(s.read_overhead_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.read_kbps, 9765.0);
+  EXPECT_DOUBLE_EQ(s.write_kbps, 214.0);
+  EXPECT_DOUBLE_EQ(s.erase_ms_per_segment, 1600.0);
+  EXPECT_EQ(s.erase_segment_bytes, 128u * 1024);
+  EXPECT_DOUBLE_EQ(s.read_w, 0.47);
+  EXPECT_EQ(s.endurance_cycles, 100000u);
+}
+
+TEST(CatalogTest, Sdp5aMatchesSection53) {
+  const DeviceSpec s = Sdp5aDatasheet();
+  EXPECT_DOUBLE_EQ(s.erase_kbps, 150.0);
+  EXPECT_DOUBLE_EQ(s.pre_erased_write_kbps, 400.0);
+  // The coupled sdp5 path the paper quotes: 75 KB/s.
+  EXPECT_DOUBLE_EQ(Sdp5Datasheet().write_kbps, 75.0);
+}
+
+TEST(CatalogTest, Series2PlusMatchesSection2) {
+  const DeviceSpec s = IntelSeries2PlusDatasheet();
+  EXPECT_DOUBLE_EQ(s.erase_ms_per_segment, 300.0);
+  EXPECT_EQ(s.endurance_cycles, 1000000u);
+}
+
+TEST(CatalogTest, MeasuredSpecsReproduceTable1SmallFileRates) {
+  // 4-KB operation throughput implied by overhead + bandwidth must land on
+  // Table 1's measured column.
+  auto small_file_kbps = [](double overhead_ms, double bw_kbps) {
+    const double op_ms = overhead_ms + 4.0 / bw_kbps * 1000.0;
+    return 4.0 / (op_ms / 1000.0);
+  };
+  const DeviceSpec cu = Cu140Measured();
+  EXPECT_NEAR(small_file_kbps(cu.read_overhead_ms, cu.read_kbps), 116.0, 6.0);
+  EXPECT_NEAR(small_file_kbps(cu.write_overhead_ms, cu.write_kbps), 76.0, 4.0);
+  const DeviceSpec sdp = Sdp10Measured();
+  EXPECT_NEAR(small_file_kbps(sdp.read_overhead_ms, sdp.read_kbps), 280.0, 15.0);
+  EXPECT_NEAR(small_file_kbps(sdp.write_overhead_ms, sdp.write_kbps), 39.0, 2.0);
+  const DeviceSpec intel = IntelCardMeasured();
+  EXPECT_NEAR(small_file_kbps(intel.read_overhead_ms, intel.read_kbps), 645.0, 60.0);
+  EXPECT_NEAR(small_file_kbps(intel.write_overhead_ms, intel.write_kbps), 43.0, 3.0);
+}
+
+TEST(CatalogTest, MeasuredIntelCleansAtRawSpeed) {
+  const DeviceSpec s = IntelCardMeasured();
+  EXPECT_DOUBLE_EQ(s.internal_read_kbps, 9765.0);
+  EXPECT_DOUBLE_EQ(s.internal_write_kbps, 214.0);
+}
+
+TEST(CatalogTest, AllSpecsAreSelfConsistent) {
+  for (const DeviceSpec& s : AllDeviceSpecs()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.read_kbps, 0.0) << s.name;
+    EXPECT_GT(s.write_kbps, 0.0) << s.name;
+    EXPECT_GE(s.read_w, 0.0) << s.name;
+    EXPECT_GE(s.idle_w, 0.0) << s.name;
+    if (s.kind == DeviceKind::kFlashCard) {
+      EXPECT_GT(s.erase_segment_bytes, 0u) << s.name;
+      EXPECT_GT(s.erase_ms_per_segment, 0.0) << s.name;
+      EXPECT_GT(s.endurance_cycles, 0u) << s.name;
+    }
+    if (s.kind == DeviceKind::kMagneticDisk) {
+      EXPECT_GT(s.spinup_ms, 0.0) << s.name;
+      EXPECT_GT(s.spinup_w, 0.0) << s.name;
+      EXPECT_GE(s.read_overhead_ms, s.sequential_overhead_ms) << s.name;
+    }
+  }
+}
+
+TEST(CatalogTest, MemoryChipsHaveSaneNumbers) {
+  const MemorySpec dram = NecDramSpec();
+  EXPECT_GT(dram.read_kbps, 1024.0);
+  EXPECT_GT(dram.idle_w_per_mbyte, 0.0);
+  const MemorySpec sram = NecSramSpec();
+  // Battery-backed SRAM retention is orders of magnitude below DRAM refresh.
+  EXPECT_LT(sram.idle_w_per_mbyte, dram.idle_w_per_mbyte);
+}
+
+}  // namespace
+}  // namespace mobisim

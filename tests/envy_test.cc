@@ -1,0 +1,102 @@
+// Tests for the eNVy-style NVRAM+flash store.
+#include <gtest/gtest.h>
+
+#include "src/envy/envy_store.h"
+
+namespace mobisim {
+namespace {
+
+EnvyConfig SmallConfig(double utilization) {
+  EnvyConfig config;
+  config.flash_bytes = 8 * 1024 * 1024;
+  config.sram_bytes = 32 * 1024;
+  config.utilization = utilization;
+  return config;
+}
+
+TEST(EnvyStoreTest, TransactionsAdvanceClock) {
+  EnvyStore store(SmallConfig(0.6));
+  Rng rng(1);
+  const SimTime t1 = store.Transaction(rng);
+  EXPECT_GT(t1, 0);
+  EXPECT_EQ(store.transactions(), 1u);
+  EXPECT_EQ(store.now(), t1);
+}
+
+TEST(EnvyStoreTest, ReadsAreCheapWritesBufferInSram) {
+  EnvyStore store(SmallConfig(0.6));
+  Rng rng(2);
+  // Read-only transactions: cost is pure flash reads (fast).
+  const SimTime read_only = store.Transaction(rng, 4, 0);
+  EXPECT_LT(read_only, UsFromMs(1));
+  // A small number of writes lands in SRAM: also fast (no flash write yet).
+  const SimTime with_writes = store.Transaction(rng, 0, 4);
+  EXPECT_LT(with_writes, UsFromMs(1));
+}
+
+TEST(EnvyStoreTest, BufferFlushPaysFlashWrites) {
+  EnvyConfig config = SmallConfig(0.6);
+  config.sram_bytes = 4 * 1024;  // 4-page buffer: flushes quickly
+  EnvyStore store(config);
+  Rng rng(3);
+  SimTime max_tx = 0;
+  for (int i = 0; i < 16; ++i) {
+    max_tx = std::max(max_tx, store.Transaction(rng, 0, 1));
+  }
+  // At least one transaction triggered a flush of 4 pages to flash.
+  EXPECT_GE(max_tx, 4 * TransferTimeUs(1024, 214.0));
+}
+
+TEST(EnvyStoreTest, CleaningFractionRisesWithUtilization) {
+  Rng rng_low(7);
+  Rng rng_high(7);
+  EnvyStore low(SmallConfig(0.55));
+  EnvyStore high(SmallConfig(0.90));
+  for (int i = 0; i < 30000; ++i) {
+    low.Transaction(rng_low);
+    high.Transaction(rng_high);
+  }
+  EXPECT_GT(high.cleaning_time_fraction(), low.cleaning_time_fraction());
+  EXPECT_LT(high.tps(), low.tps());
+  EXPECT_GT(high.pages_copied(), low.pages_copied());
+  EXPECT_TRUE(high.segments().CheckInvariants());
+}
+
+TEST(EnvyStoreTest, TimeFractionsAreConsistent) {
+  EnvyStore store(SmallConfig(0.85));
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    store.Transaction(rng);
+  }
+  const double total = store.cleaning_time_fraction() + store.io_time_fraction();
+  EXPECT_NEAR(total, 1.0, 1e-6);  // every microsecond is io or cleaning
+  EXPECT_GT(store.cleaning_time_fraction(), 0.0);
+}
+
+TEST(EnvyStoreTest, SkewedTrafficCleansCheaper) {
+  // Hot/cold skew concentrates invalidation; with the segregated cleaning
+  // destination, victims carry less live data and cleaning copies less per
+  // reclaimed page.
+  EnvyConfig uniform_config = SmallConfig(0.85);
+  uniform_config.zipf_skew = 0.0;
+  EnvyConfig skewed_config = SmallConfig(0.85);
+  skewed_config.zipf_skew = 1.2;
+  EnvyStore uniform(uniform_config);
+  EnvyStore skewed(skewed_config);
+  Rng rng_a(13);
+  Rng rng_b(13);
+  for (int i = 0; i < 30000; ++i) {
+    uniform.Transaction(rng_a);
+    skewed.Transaction(rng_b);
+  }
+  ASSERT_GT(uniform.segment_erases(), 0u);
+  ASSERT_GT(skewed.segment_erases(), 0u);
+  const double uniform_cpe = static_cast<double>(uniform.pages_copied()) /
+                             static_cast<double>(uniform.segment_erases());
+  const double skewed_cpe = static_cast<double>(skewed.pages_copied()) /
+                            static_cast<double>(skewed.segment_erases());
+  EXPECT_LT(skewed_cpe, uniform_cpe);
+}
+
+}  // namespace
+}  // namespace mobisim

@@ -1,0 +1,107 @@
+// Tests for the HPL and DiskSim trace importers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/trace/external_formats.h"
+
+namespace mobisim {
+namespace {
+
+TEST(HplImportTest, ParsesByteOffsets) {
+  std::istringstream in(
+      "# comment\n"
+      "0.000 0 0 4096 R\n"
+      "0.125 0 8192 2048 W\n"
+      "1.500 0 1024 512 r\n");
+  HplImportOptions options;
+  options.block_bytes = 1024;
+  std::string error;
+  const auto trace = ImportHplTrace(in, options, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->records.size(), 3u);
+  EXPECT_EQ(trace->records[0].op, OpType::kRead);
+  EXPECT_EQ(trace->records[0].lba, 0u);
+  EXPECT_EQ(trace->records[0].block_count, 4u);
+  EXPECT_EQ(trace->records[1].op, OpType::kWrite);
+  EXPECT_EQ(trace->records[1].lba, 8u);
+  EXPECT_EQ(trace->records[1].block_count, 2u);
+  EXPECT_EQ(trace->records[1].time_us, 125000);
+  EXPECT_EQ(trace->total_blocks, 10u);
+}
+
+TEST(HplImportTest, BlockOffsets) {
+  std::istringstream in("0.0 0 100 4 W\n");
+  HplImportOptions options;
+  options.offsets_in_bytes = false;
+  const auto trace = ImportHplTrace(in, options);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->records[0].lba, 100u);
+  EXPECT_EQ(trace->records[0].block_count, 4u);
+}
+
+TEST(HplImportTest, DeviceFilter) {
+  std::istringstream in(
+      "0.0 0 0 1024 R\n"
+      "0.1 1 0 1024 R\n"
+      "0.2 0 1024 1024 W\n");
+  HplImportOptions options;
+  options.device_filter = 0;
+  const auto trace = ImportHplTrace(in, options);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->records.size(), 2u);
+}
+
+TEST(HplImportTest, RejectsMalformed) {
+  std::istringstream bad_op("0.0 0 0 1024 X\n");
+  std::string error;
+  EXPECT_FALSE(ImportHplTrace(bad_op, HplImportOptions{}, &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  std::istringstream truncated("0.0 0 0\n");
+  EXPECT_FALSE(ImportHplTrace(truncated, HplImportOptions{}, &error).has_value());
+
+  std::istringstream empty("# nothing\n");
+  EXPECT_FALSE(ImportHplTrace(empty, HplImportOptions{}, &error).has_value());
+}
+
+TEST(HplImportTest, SortsOutOfOrderTimestamps) {
+  std::istringstream in(
+      "2.0 0 0 1024 R\n"
+      "1.0 0 1024 1024 W\n");
+  const auto trace = ImportHplTrace(in, HplImportOptions{});
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_LT(trace->records[0].time_us, trace->records[1].time_us);
+  EXPECT_EQ(trace->records[0].op, OpType::kWrite);
+}
+
+TEST(DiskSimImportTest, ParsesAndScalesBlocks) {
+  // DiskSim 512-byte blocks into 1024-byte simulator blocks.
+  std::istringstream in(
+      "0.0 0 16 8 1\n"     // read, blocks 16..23 (512B) -> lba 8..11
+      "10.5 0 100 4 0\n");  // write
+  DiskSimImportOptions options;
+  std::string error;
+  const auto trace = ImportDiskSimTrace(in, options, &error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->records.size(), 2u);
+  EXPECT_EQ(trace->records[0].op, OpType::kRead);
+  EXPECT_EQ(trace->records[0].lba, 8u);
+  EXPECT_EQ(trace->records[0].block_count, 4u);
+  EXPECT_EQ(trace->records[1].op, OpType::kWrite);
+  EXPECT_EQ(trace->records[1].time_us, 10500);
+}
+
+TEST(DiskSimImportTest, LocalityGroupsShareFileIds) {
+  std::istringstream in(
+      "0.0 0 0 2 1\n"
+      "1.0 0 4 2 1\n"      // same 64-block neighbourhood
+      "2.0 0 4000 2 1\n");  // far away
+  const auto trace = ImportDiskSimTrace(in, DiskSimImportOptions{});
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->records[0].file_id, trace->records[1].file_id);
+  EXPECT_NE(trace->records[0].file_id, trace->records[2].file_id);
+}
+
+}  // namespace
+}  // namespace mobisim

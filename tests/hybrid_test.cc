@@ -1,0 +1,127 @@
+// Tests for the hybrid disk+flash store.
+#include <gtest/gtest.h>
+
+#include "src/hybrid/hybrid_store.h"
+
+namespace mobisim {
+namespace {
+
+HybridConfig SmallConfig() {
+  HybridConfig config;
+  config.flash_bytes = 1024 * 1024;
+  config.dram_bytes = 0;  // isolate placement behaviour
+  config.block_bytes = 1024;
+  config.half_life_sec = 1000.0;  // effectively no decay within a test
+  config.promote_heat = 3.0;      // promote quickly in the small tests
+  return config;
+}
+
+BlockRecord Rec(SimTime t, OpType op, std::uint64_t lba, std::uint32_t count,
+                std::uint32_t file) {
+  BlockRecord rec;
+  rec.time_us = t;
+  rec.op = op;
+  rec.lba = lba;
+  rec.block_count = count;
+  rec.file_id = file;
+  return rec;
+}
+
+TEST(HybridStoreTest, ColdFilesStayOnDisk) {
+  HybridStore store(SmallConfig());
+  const SimTime response = store.Handle(Rec(0, OpType::kRead, 0, 2, 1));
+  EXPECT_GT(response, UsFromMs(20));  // disk service
+  EXPECT_EQ(store.promotions(), 0u);
+  EXPECT_EQ(store.flash_resident_blocks(), 0u);
+}
+
+TEST(HybridStoreTest, RepeatedAccessPromotesToFlash) {
+  HybridStore store(SmallConfig());
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    store.Handle(Rec(t, OpType::kRead, 0, 2, 1));
+    t += kUsPerSec;
+  }
+  EXPECT_EQ(store.promotions(), 1u);
+  EXPECT_EQ(store.flash_resident_blocks(), 2u);
+  // Subsequent accesses are served by flash, fast.
+  const SimTime response = store.Handle(Rec(t, OpType::kRead, 0, 2, 1));
+  EXPECT_LT(response, UsFromMs(5));
+  EXPECT_GT(store.flash_service_fraction(), 0.0);
+}
+
+TEST(HybridStoreTest, FlashResidentWritesLeaveDiskAsleep) {
+  HybridStore store(SmallConfig());
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    store.Handle(Rec(t, OpType::kWrite, 0, 2, 1));
+    t += kUsPerSec;
+  }
+  ASSERT_EQ(store.promotions(), 1u);
+  const std::uint64_t spinups_before = store.disk_counters().spinups;
+  // Long idle: the disk sleeps; flash-resident writes must not wake it.
+  t += 60 * kUsPerSec;
+  store.Handle(Rec(t, OpType::kWrite, 0, 2, 1));
+  EXPECT_EQ(store.disk_counters().spinups, spinups_before);
+}
+
+TEST(HybridStoreTest, HotterFileDisplacesColdResident) {
+  HybridConfig config = SmallConfig();
+  config.flash_fill_fraction = 0.005;  // tiny flash: ~5 blocks
+  HybridStore store(config);
+  SimTime t = 0;
+  // File 1 becomes resident.
+  for (int i = 0; i < 5; ++i) {
+    store.Handle(Rec(t, OpType::kRead, 0, 4, 1));
+    t += kUsPerSec;
+  }
+  ASSERT_EQ(store.promotions(), 1u);
+  // File 2 becomes much hotter; file 1 cools off.
+  for (int i = 0; i < 30; ++i) {
+    store.Handle(Rec(t, OpType::kRead, 100, 4, 2));
+    t += kUsPerSec;
+  }
+  EXPECT_GE(store.promotions(), 2u);
+  EXPECT_GE(store.demotions(), 1u);
+}
+
+TEST(HybridStoreTest, ExtentGrowthDemotesBeforeRouting) {
+  HybridStore store(SmallConfig());
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    store.Handle(Rec(t, OpType::kRead, 0, 2, 1));
+    t += kUsPerSec;
+  }
+  ASSERT_EQ(store.promotions(), 1u);
+  // Access beyond the promoted extent: the store must handle it safely.
+  store.Handle(Rec(t, OpType::kWrite, 0, 8, 1));
+  EXPECT_GE(store.demotions(), 1u);
+}
+
+TEST(HybridStoreTest, EraseReleasesFlash) {
+  HybridStore store(SmallConfig());
+  SimTime t = 0;
+  for (int i = 0; i < 5; ++i) {
+    store.Handle(Rec(t, OpType::kWrite, 0, 2, 1));
+    t += kUsPerSec;
+  }
+  ASSERT_GT(store.flash_resident_blocks(), 0u);
+  store.Handle(Rec(t, OpType::kErase, 0, 2, 1));
+  EXPECT_EQ(store.flash_resident_blocks(), 0u);
+}
+
+TEST(HybridStoreTest, EnergySplitsAcrossDevices) {
+  HybridStore store(SmallConfig());
+  SimTime t = 0;
+  for (int i = 0; i < 10; ++i) {
+    store.Handle(Rec(t, OpType::kRead, static_cast<std::uint64_t>(i) * 4, 2,
+                     static_cast<std::uint32_t>(i)));
+    t += kUsPerSec;
+  }
+  store.Finish(t);
+  EXPECT_GT(store.disk_energy_j(), 0.0);
+  EXPECT_GT(store.total_energy_j(), store.disk_energy_j());
+}
+
+}  // namespace
+}  // namespace mobisim

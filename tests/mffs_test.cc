@@ -1,0 +1,161 @@
+// Tests for the MFFS 2.00 behavioural model and the micro-benchmark harness.
+#include <gtest/gtest.h>
+
+#include "src/device/device_catalog.h"
+#include "src/mffs/lfs_ffs.h"
+#include "src/mffs/microbench.h"
+#include "src/mffs/testbed_device.h"
+#include "src/util/rng.h"
+
+namespace mobisim {
+namespace {
+
+TEST(MffsTest, WriteLatencyGrowsLinearlyWithFileSize) {
+  MffsTestbedDevice card(DefaultMffsConfig());
+  const MicroBenchResult result =
+      BenchWriteFiles(card, 1024 * 1024, 4096, 1024 * 1024, /*ratio=*/0.5);
+  ASSERT_EQ(result.latency_ms.size(), 256u);
+  // The anomaly: last write much slower than first.
+  EXPECT_GT(result.latency_ms.back(), 3.0 * result.latency_ms.front());
+  // Roughly linear: the midpoint sits near the average of the endpoints.
+  const double mid = result.latency_ms[128];
+  const double expected_mid = (result.latency_ms.front() + result.latency_ms.back()) / 2.0;
+  EXPECT_NEAR(mid / expected_mid, 1.0, 0.25);
+}
+
+TEST(MffsTest, SmallFileWritesDoNotDegrade) {
+  MffsTestbedDevice card(DefaultMffsConfig());
+  const MicroBenchResult result =
+      BenchWriteFiles(card, 4096, 4096, 512 * 1024, /*ratio=*/0.5);
+  EXPECT_NEAR(result.latency_ms.front(), result.latency_ms.back(), 1.0);
+}
+
+TEST(MffsTest, CompressibleDataWritesFaster) {
+  MffsTestbedDevice a(DefaultMffsConfig());
+  MffsTestbedDevice b(DefaultMffsConfig());
+  const double random_kbps =
+      BenchWriteFiles(a, 4096, 4096, 256 * 1024, 1.0).throughput_kbps();
+  const double text_kbps =
+      BenchWriteFiles(b, 4096, 4096, 256 * 1024, 0.5).throughput_kbps();
+  EXPECT_GT(text_kbps, 1.5 * random_kbps);
+}
+
+TEST(MffsTest, ReadChainCostGrowsWithOffset) {
+  MffsConfig config = DefaultMffsConfig();
+  MffsTestbedDevice card(config);
+  BenchWriteFiles(card, 1024 * 1024, 4096, 1024 * 1024, 1.0);
+  const std::uint32_t file = 1u << 20;  // the harness's first file id
+  const double early = card.ReadChunkMs(file, 0, 4096, 1024 * 1024, 1.0);
+  const double late = card.ReadChunkMs(file, 1000 * 1024, 4096, 1024 * 1024, 1.0);
+  EXPECT_GT(late, early + 50.0);
+}
+
+TEST(MffsTest, DeleteReclaimsLiveBlocks) {
+  MffsTestbedDevice card(DefaultMffsConfig());
+  // Enough data to fill several 128-KB erase segments.
+  BenchWriteFiles(card, 1024 * 1024, 4096, 1024 * 1024, 1.0);
+  card.DeleteFile(1u << 20);
+  card.IdleCleanup();
+  // After cleanup the deleted file's segments have been erased.
+  EXPECT_GT(card.segment_erases(), 0u);
+}
+
+TEST(MffsTest, OverwritePressureScalesWithLiveData) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  MffsTestbedDevice low(DefaultMffsConfig());
+  MffsTestbedDevice high(DefaultMffsConfig());
+  const auto low_curve = BenchOverwritePasses(low, 1 * 1024 * 1024, 1024 * 1024, 4096,
+                                              /*passes=*/6, 1.0, rng_a);
+  const auto high_curve = BenchOverwritePasses(high, 9 * 1024 * 1024 + 512 * 1024,
+                                               1024 * 1024, 4096, 6, 1.0, rng_b);
+  EXPECT_GT(low_curve.back(), 2.0 * high_curve.back());
+  // Low-live throughput declines as the card's free pool is consumed.
+  EXPECT_GT(low_curve.front(), low_curve.back());
+}
+
+TEST(MffsTest, FormatResetsState) {
+  MffsTestbedDevice card(DefaultMffsConfig());
+  BenchWriteFiles(card, 1024 * 1024, 4096, 2 * 1024 * 1024, 1.0);
+  card.Format();
+  EXPECT_EQ(card.segment_erases(), 0u);
+  EXPECT_EQ(card.cleaning_copies(), 0u);
+  // Fresh writes behave like a fresh card.
+  const MicroBenchResult result = BenchWriteFiles(card, 4096, 4096, 64 * 1024, 1.0);
+  EXPECT_GT(result.throughput_kbps(), 30.0);
+}
+
+TEST(LfsFfsTest, NoLatencyGrowthWithFileSize) {
+  LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+  const MicroBenchResult result =
+      BenchWriteFiles(lfs, 1024 * 1024, 4096, 1024 * 1024, 1.0);
+  // Flat, unlike MFFS 2.00: last write within 2x of the first.
+  EXPECT_LT(result.latency_ms.back(), 2.0 * result.latency_ms.front());
+}
+
+TEST(LfsFfsTest, BeatsMffsOnLargeFiles) {
+  MffsTestbedDevice mffs(DefaultMffsConfig());
+  LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+  const double mffs_kbps =
+      BenchWriteFiles(mffs, 1024 * 1024, 4096, 1024 * 1024, 1.0).throughput_kbps();
+  const double lfs_kbps =
+      BenchWriteFiles(lfs, 1024 * 1024, 4096, 1024 * 1024, 1.0).throughput_kbps();
+  EXPECT_GT(lfs_kbps, 3.0 * mffs_kbps);
+}
+
+TEST(LfsFfsTest, ReadsAtMediumSpeed) {
+  LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+  BenchWriteFiles(lfs, 4096, 4096, 64 * 1024, 1.0);
+  const double kbps = BenchReadFiles(lfs, 4096, 4096, 64 * 1024, 1.0).throughput_kbps();
+  // 4 KB at 9765 KB/s plus 1 ms overhead: ~2800 KB/s.
+  EXPECT_GT(kbps, 2000.0);
+}
+
+TEST(LfsFfsTest, CleansUnderOverwritePressure) {
+  LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+  Rng rng(3);
+  const auto curve = BenchOverwritePasses(lfs, 8 * 1024 * 1024, 1024 * 1024, 4096, 4, 1.0, rng);
+  EXPECT_GT(lfs.segment_erases(), 0u);
+  EXPECT_GT(curve.front(), 0.0);
+}
+
+TEST(LfsFfsTest, FormatResets) {
+  LfsFfsTestbedDevice lfs(DefaultLfsFfsConfig());
+  BenchWriteFiles(lfs, 1024 * 1024, 4096, 4 * 1024 * 1024, 1.0);
+  lfs.Format();
+  EXPECT_EQ(lfs.segment_erases(), 0u);
+  EXPECT_EQ(lfs.cleaning_copies(), 0u);
+}
+
+TEST(SimpleTestbedTest, MatchesSpecRates) {
+  const CompressionModel off{};
+  SimpleTestbedDevice disk(Cu140Measured(), off);
+  // 4-KB files, uncompressed: Table 1 reports ~116 KB/s reads, ~76 writes.
+  MicroBenchResult writes = BenchWriteFiles(disk, 4096, 4096, 1024 * 1024, 1.0);
+  MicroBenchResult reads = BenchReadFiles(disk, 4096, 4096, 1024 * 1024, 1.0);
+  EXPECT_NEAR(writes.throughput_kbps(), 76.0, 8.0);
+  EXPECT_NEAR(reads.throughput_kbps(), 116.0, 10.0);
+}
+
+TEST(SimpleTestbedTest, CompressionBuffersSmallWrites) {
+  CompressionModel comp;
+  comp.enabled = true;
+  comp.compress_kbps = 260.0;
+  SimpleTestbedDevice disk(Cu140Measured(), comp);
+  const MicroBenchResult result = BenchWriteFiles(disk, 4096, 4096, 512 * 1024, 0.5);
+  EXPECT_NEAR(result.throughput_kbps(), 260.0, 15.0);
+}
+
+TEST(SimpleTestbedTest, SequentialChunksSkipOverhead) {
+  const CompressionModel off{};
+  SimpleTestbedDevice disk(Cu140Measured(), off);
+  const double first = disk.WriteChunkMs(1, 0, 4096, 1024 * 1024, 1.0);
+  const double second = disk.WriteChunkMs(1, 4096, 4096, 1024 * 1024, 1.0);
+  EXPECT_GT(first, second + 30.0);  // first pays the random overhead
+  // A seek back to the start pays it again.
+  const double random = disk.WriteChunkMs(1, 0, 4096, 1024 * 1024, 1.0);
+  EXPECT_NEAR(random, first, 1.0);
+}
+
+}  // namespace
+}  // namespace mobisim

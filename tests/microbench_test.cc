@@ -1,0 +1,90 @@
+// Tests for the section-3 micro-benchmark harness itself.
+#include <gtest/gtest.h>
+
+#include "src/device/device_catalog.h"
+#include "src/mffs/microbench.h"
+#include "src/mffs/testbed_device.h"
+#include "src/util/rng.h"
+
+namespace mobisim {
+namespace {
+
+// A testbed device with constant per-chunk cost, for exact arithmetic.
+class ConstantDevice : public TestbedDevice {
+ public:
+  explicit ConstantDevice(double ms) : ms_(ms) {}
+  double WriteChunkMs(std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t,
+                      double) override {
+    ++writes_;
+    return ms_;
+  }
+  double ReadChunkMs(std::uint32_t, std::uint64_t, std::uint32_t, std::uint64_t,
+                     double) override {
+    ++reads_;
+    return ms_;
+  }
+  void DeleteFile(std::uint32_t) override {}
+  void Format() override {}
+  std::string name() const override { return "constant"; }
+
+  int writes_ = 0;
+  int reads_ = 0;
+
+ private:
+  double ms_;
+};
+
+TEST(MicroBenchTest, WriteVolumeAndChunking) {
+  ConstantDevice device(10.0);
+  const MicroBenchResult result =
+      BenchWriteFiles(device, /*file=*/16 * 1024, /*chunk=*/4096, /*total=*/64 * 1024, 1.0);
+  EXPECT_EQ(result.total_bytes, 64u * 1024);
+  EXPECT_EQ(device.writes_, 16);  // 4 files x 4 chunks
+  EXPECT_EQ(result.latency_ms.size(), 16u);
+  EXPECT_DOUBLE_EQ(result.total_ms, 160.0);
+  // Throughput: 64 KB in 0.16 s = 400 KB/s.
+  EXPECT_NEAR(result.throughput_kbps(), 400.0, 1e-9);
+}
+
+TEST(MicroBenchTest, PartialLastChunk) {
+  ConstantDevice device(1.0);
+  const MicroBenchResult result = BenchWriteFiles(device, 5000, 4096, 10000, 1.0);
+  // File layout: chunks of 4096 + 904 per 5000-byte file; 10000 bytes total.
+  EXPECT_EQ(result.total_bytes, 10000u);
+  EXPECT_EQ(device.writes_, 4);
+}
+
+TEST(MicroBenchTest, ReadMirrorsWriteLayout) {
+  ConstantDevice device(2.0);
+  const MicroBenchResult result = BenchReadFiles(device, 8192, 4096, 32 * 1024, 1.0);
+  EXPECT_EQ(device.reads_, 8);
+  EXPECT_EQ(result.total_bytes, 32u * 1024);
+}
+
+TEST(MicroBenchTest, OverwritePassesCoverRequestedVolume) {
+  ConstantDevice device(1.0);
+  Rng rng(1);
+  const auto passes =
+      BenchOverwritePasses(device, 64 * 1024, 16 * 1024, 4096, 3, 1.0, rng, 32 * 1024);
+  ASSERT_EQ(passes.size(), 3u);
+  // Setup: 16 chunks; each pass: 4 chunks. 16 + 12 = 28 writes.
+  EXPECT_EQ(device.writes_, 28);
+  for (const double kbps : passes) {
+    EXPECT_NEAR(kbps, 4096.0 / 1024.0 * 1000.0, 1.0);  // 4 KB per 1 ms
+  }
+}
+
+TEST(MicroBenchTest, ThroughputZeroWhenNoTime) {
+  MicroBenchResult result;
+  EXPECT_DOUBLE_EQ(result.throughput_kbps(), 0.0);
+}
+
+TEST(MffsConfigTest, DefaultMatchesTable2Card) {
+  const MffsConfig config = DefaultMffsConfig();
+  EXPECT_EQ(config.card.erase_segment_bytes, 128u * 1024);
+  EXPECT_DOUBLE_EQ(config.card.erase_ms_per_segment, 1600.0);
+  EXPECT_TRUE(config.compression.enabled);
+}
+
+}  // namespace
+}  // namespace mobisim

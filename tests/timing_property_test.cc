@@ -1,0 +1,146 @@
+// Timing and accounting properties that must hold for every device model
+// under randomized traffic: monotonic completion times, energy bounded by
+// wall-clock x peak power, counter/byte consistency, and busy-time sanity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "src/device/device_catalog.h"
+#include "src/device/flash_card.h"
+#include "src/device/flash_disk.h"
+#include "src/device/geometric_disk.h"
+#include "src/device/magnetic_disk.h"
+#include "src/util/rng.h"
+
+namespace mobisim {
+namespace {
+
+struct DeviceMaker {
+  const char* name;
+  std::unique_ptr<StorageDevice> (*make)();
+};
+
+std::unique_ptr<StorageDevice> MakeDisk() {
+  DeviceOptions options;
+  options.block_bytes = 1024;
+  return std::make_unique<MagneticDisk>(Cu140Datasheet(), options);
+}
+
+std::unique_ptr<StorageDevice> MakeGeometricDisk() {
+  DeviceOptions options;
+  options.block_bytes = 1024;
+  return std::make_unique<GeometricDisk>(Cu140Datasheet(), Cu140Geometry(), options);
+}
+
+std::unique_ptr<StorageDevice> MakeFlashDisk() {
+  DeviceOptions options;
+  options.block_bytes = 1024;
+  options.capacity_bytes = 4 * 1024 * 1024;
+  auto device = std::make_unique<FlashDisk>(Sdp5aDatasheet(), options);
+  device->Preload(1024);
+  return device;
+}
+
+std::unique_ptr<StorageDevice> MakeFlashCard() {
+  DeviceOptions options;
+  options.block_bytes = 1024;
+  options.capacity_bytes = 4 * 1024 * 1024;
+  auto device = std::make_unique<FlashCard>(IntelCardDatasheet(), options);
+  device->Preload(1024, 0.7);
+  return device;
+}
+
+class DeviceTimingPropertyTest : public ::testing::TestWithParam<DeviceMaker> {};
+
+TEST_P(DeviceTimingPropertyTest, RandomTrafficInvariants) {
+  auto device = GetParam().make();
+  Rng rng(17);
+  SimTime now = 0;
+  SimTime last_completion = 0;
+
+  for (int i = 0; i < 1500; ++i) {
+    now += static_cast<SimTime>(rng.Exponential(200000.0));  // ~0.2-s mean gaps
+    BlockRecord rec;
+    rec.time_us = now;
+    rec.lba = static_cast<std::uint64_t>(rng.UniformInt(0, 1000));
+    rec.block_count = static_cast<std::uint32_t>(rng.UniformInt(1, 8));
+    rec.lba = std::min<std::uint64_t>(rec.lba, 1024 - rec.block_count);
+    rec.file_id = static_cast<std::uint32_t>(rng.UniformInt(0, 40));
+    const bool is_read = rng.Chance(0.5);
+    rec.op = is_read ? OpType::kRead : OpType::kWrite;
+
+    const SimTime response =
+        is_read ? device->Read(now, rec) : device->Write(now, rec);
+    ASSERT_GT(response, 0) << GetParam().name << " op " << i;
+
+    // Completions never go backwards, and busy_until covers this op.
+    const SimTime completion = now + response;
+    ASSERT_GE(completion, last_completion) << GetParam().name << " op " << i;
+    ASSERT_GE(device->busy_until(), completion - response) << GetParam().name;
+    last_completion = completion;
+  }
+
+  device->Finish(std::max(now, device->busy_until()));
+
+  // Energy is bounded by wall-clock times the highest mode power.
+  const DeviceSpec& spec = device->spec();
+  const double peak_w = std::max({spec.read_w, spec.write_w, spec.erase_w, spec.idle_w,
+                                  spec.spinup_w, spec.sleep_w});
+  const double wall_sec = SecFromUs(device->busy_until());
+  EXPECT_LE(device->energy().total_joules(), peak_w * wall_sec * 1.01) << GetParam().name;
+  EXPECT_GT(device->energy().total_joules(), 0.0);
+
+  // Counters add up.
+  const DeviceCounters& counters = device->counters();
+  EXPECT_GT(counters.reads, 0u);
+  EXPECT_GT(counters.writes, 0u);
+  EXPECT_EQ(counters.reads + counters.writes, 1500u);
+  EXPECT_GE(counters.bytes_read, counters.reads * 1024u);
+  EXPECT_GE(counters.bytes_written, counters.writes * 1024u);
+}
+
+TEST_P(DeviceTimingPropertyTest, BackToBackRequestsQueueFifo) {
+  auto device = GetParam().make();
+  BlockRecord rec;
+  rec.block_count = 4;
+  rec.lba = 0;
+  rec.file_id = 1;
+  rec.op = OpType::kWrite;
+  // Three writes at the same instant: responses strictly increase.
+  SimTime prev = 0;
+  for (int i = 0; i < 3; ++i) {
+    rec.time_us = 1000;
+    const SimTime response = device->Write(1000, rec);
+    ASSERT_GT(response, prev);
+    prev = response;
+  }
+}
+
+TEST_P(DeviceTimingPropertyTest, AdvanceToIsIdempotent) {
+  auto device = GetParam().make();
+  BlockRecord rec;
+  rec.time_us = 0;
+  rec.lba = 0;
+  rec.block_count = 1;
+  rec.file_id = 1;
+  rec.op = OpType::kWrite;
+  device->Write(0, rec);
+  device->AdvanceTo(10 * kUsPerSec);
+  const double energy_once = device->energy().total_joules();
+  device->AdvanceTo(10 * kUsPerSec);
+  device->AdvanceTo(9 * kUsPerSec);  // going backwards must be a no-op
+  EXPECT_DOUBLE_EQ(device->energy().total_joules(), energy_once) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Devices, DeviceTimingPropertyTest,
+    ::testing::Values(DeviceMaker{"magnetic", &MakeDisk},
+                      DeviceMaker{"geometric", &MakeGeometricDisk},
+                      DeviceMaker{"flash_disk", &MakeFlashDisk},
+                      DeviceMaker{"flash_card", &MakeFlashCard}),
+    [](const ::testing::TestParamInfo<DeviceMaker>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace mobisim

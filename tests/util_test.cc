@@ -1,0 +1,291 @@
+// Unit tests for src/util: RNG determinism and distribution moments,
+// streaming statistics, histograms, energy metering, table printing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/energy_meter.h"
+#include "src/util/rng.h"
+#include "src/util/sim_time.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace mobisim {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(UsFromMs(1.5), 1500);
+  EXPECT_EQ(UsFromSec(2.0), 2000000);
+  EXPECT_DOUBLE_EQ(MsFromUs(2500), 2.5);
+  EXPECT_DOUBLE_EQ(SecFromUs(1500000), 1.5);
+}
+
+TEST(SimTimeTest, TransferTime) {
+  // 1024 bytes at 1 KB/s = 1 second.
+  EXPECT_EQ(TransferTimeUs(1024, 1.0), kUsPerSec);
+  EXPECT_EQ(TransferTimeUs(0, 100.0), 0);
+  EXPECT_EQ(TransferTimeUs(1024, 0.0), 0);
+  // 4 KB at 2125 KB/s ~ 1.88 ms.
+  const SimTime t = TransferTimeUs(4096, 2125.0);
+  EXPECT_NEAR(static_cast<double>(t), 1882.0, 2.0);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.NextU32() == b.NextU32() ? 1 : 0;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.Exponential(3.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    stats.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ChanceProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Chance(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  // The fork must not replay the parent's stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += parent.NextU32() == child.NextU32() ? 1 : 0;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  Rng rng(29);
+  ZipfDistribution zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, SkewFavoursLowRanks) {
+  Rng rng(31);
+  ZipfDistribution zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(rng)];
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(DiscreteTest, RespectsWeights) {
+  Rng rng(37);
+  DiscreteDistribution dist({1.0, 3.0});
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ones += dist.Sample(rng) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(0, 10);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(ReservoirSampleTest, ExactWhenUnderCapacity) {
+  ReservoirSample res(100);
+  for (int i = 0; i <= 10; ++i) {
+    res.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(res.count(), 11u);
+  EXPECT_DOUBLE_EQ(res.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(res.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(res.Quantile(1.0), 10.0);
+}
+
+TEST(ReservoirSampleTest, EmptyIsZero) {
+  ReservoirSample res(16);
+  EXPECT_DOUBLE_EQ(res.Quantile(0.5), 0.0);
+  EXPECT_EQ(res.count(), 0u);
+}
+
+TEST(ReservoirSampleTest, ApproximatesLargeStream) {
+  ReservoirSample res(4096);
+  Rng rng(99);
+  for (int i = 0; i < 200000; ++i) {
+    res.Add(rng.Uniform(0.0, 100.0));
+  }
+  EXPECT_EQ(res.count(), 200000u);
+  EXPECT_EQ(res.sample_size(), 4096u);
+  EXPECT_NEAR(res.Quantile(0.5), 50.0, 4.0);
+  EXPECT_NEAR(res.Quantile(0.95), 95.0, 4.0);
+}
+
+TEST(ReservoirSampleTest, Deterministic) {
+  ReservoirSample a(64);
+  ReservoirSample b(64);
+  Rng rng_a(5);
+  Rng rng_b(5);
+  for (int i = 0; i < 10000; ++i) {
+    a.Add(rng_a.NextDouble());
+    b.Add(rng_b.NextDouble());
+  }
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), b.Quantile(0.5));
+}
+
+TEST(HistogramTest, BucketsAndQuantiles) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) / 10.0);  // 0.0 .. 9.9 uniformly
+  }
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucket(0), 10u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 0.5);
+  EXPECT_NEAR(h.Quantile(0.9), 9.0, 0.5);
+}
+
+TEST(HistogramTest, OverflowUnderflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-1.0);
+  h.Add(100.0);
+  h.Add(2.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(EnergyMeterTest, IntegratesPowerOverTime) {
+  EnergyMeter meter({{"idle", 0.7}, {"active", 1.75}});
+  meter.Accumulate(0, UsFromSec(10));  // 7 J
+  meter.Accumulate(1, UsFromSec(2));   // 3.5 J
+  EXPECT_NEAR(meter.mode_joules(0), 7.0, 1e-9);
+  EXPECT_NEAR(meter.mode_joules(1), 3.5, 1e-9);
+  EXPECT_NEAR(meter.total_joules(), 10.5, 1e-9);
+  EXPECT_EQ(meter.mode_time_us(0), UsFromSec(10));
+  EXPECT_EQ(meter.mode_name(1), "active");
+}
+
+TEST(EnergyMeterTest, DirectJoules) {
+  EnergyMeter meter({{"refresh", 0.0}});
+  meter.AccumulateJoules(0, 1.25);
+  EXPECT_NEAR(meter.total_joules(), 1.25, 1e-12);
+}
+
+TEST(TablePrinterTest, AlignsAndCounts) {
+  TablePrinter table({"Device", "Energy (J)"});
+  table.BeginRow().Cell("cu140").Cell(8854.0, 0);
+  table.BeginRow().Cell("intel").Cell(888.0, 0);
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cu140"), std::string::npos);
+  EXPECT_NE(text.find("8854"), std::string::npos);
+  EXPECT_NE(text.find("Device"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream out;
+  table.PrintCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace mobisim

@@ -1,0 +1,241 @@
+// Tests for the workload generators: the section 4.1 synthetic workload and
+// the Table-3-calibrated mac/dos/hp stand-ins.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/trace/calibrated_workload.h"
+#include "src/trace/synth_workload.h"
+#include "src/trace/trace_stats.h"
+
+namespace mobisim {
+namespace {
+
+TEST(SynthWorkloadTest, MatchesSection41Mix) {
+  SynthWorkloadConfig config;
+  config.op_count = 50000;
+  const Trace trace = GenerateSynthWorkload(config);
+  EXPECT_EQ(trace.records.size(), 50000u);
+
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t half_kb = 0;
+  std::uint64_t small = 0;
+  std::uint64_t large = 0;
+  std::uint64_t hot = 0;
+  const std::uint32_t hot_count = 192 / 8;  // 1/8 of 192 files
+  for (const TraceRecord& rec : trace.records) {
+    if (rec.file_id < hot_count) {
+      ++hot;
+    }
+    switch (rec.op) {
+      case OpType::kRead:
+        ++reads;
+        break;
+      case OpType::kWrite:
+        ++writes;
+        break;
+      case OpType::kErase:
+        ++erases;
+        continue;
+    }
+    if (rec.size_bytes == 512) {
+      ++half_kb;
+    } else if (rec.size_bytes <= 16 * 1024) {
+      ++small;
+    } else {
+      ++large;
+    }
+    EXPECT_LE(rec.offset + rec.size_bytes, 32u * 1024) << "access exceeds file";
+  }
+  const double n = static_cast<double>(trace.records.size());
+  // The erase-then-full-rewrite rule shifts a few percent of reads on erased
+  // files into writes, so the achieved mix sits slightly off 60/35/5.
+  EXPECT_NEAR(reads / n, 0.60, 0.04);
+  EXPECT_NEAR(writes / n, 0.35, 0.04);
+  EXPECT_NEAR(erases / n, 0.05, 0.01);
+  // 7/8 of accesses to 1/8 of the files.
+  EXPECT_NEAR(hot / n, 7.0 / 8.0, 0.02);
+  // Size mix 40/40/20 (the erase-rewrite rule perturbs it slightly).
+  const double rw = static_cast<double>(reads + writes);
+  EXPECT_NEAR(half_kb / rw, 0.40, 0.05);
+  EXPECT_NEAR(small / rw, 0.40, 0.05);
+  EXPECT_NEAR(large / rw, 0.20, 0.05);
+}
+
+TEST(SynthWorkloadTest, EraseThenFullRewrite) {
+  SynthWorkloadConfig config;
+  config.op_count = 50000;
+  const Trace trace = GenerateSynthWorkload(config);
+  std::vector<bool> erased(192, false);
+  bool saw_full_rewrite = false;
+  for (const TraceRecord& rec : trace.records) {
+    if (rec.op == OpType::kErase) {
+      erased[rec.file_id] = true;
+    } else if (erased[rec.file_id]) {
+      // First touch after an erase must be a full-unit write.
+      EXPECT_EQ(rec.op, OpType::kWrite);
+      EXPECT_EQ(rec.offset, 0u);
+      EXPECT_EQ(rec.size_bytes, 32u * 1024);
+      erased[rec.file_id] = false;
+      saw_full_rewrite = true;
+    }
+  }
+  EXPECT_TRUE(saw_full_rewrite);
+}
+
+TEST(SynthWorkloadTest, DeterministicForSeed) {
+  SynthWorkloadConfig config;
+  config.op_count = 1000;
+  const Trace a = GenerateSynthWorkload(config);
+  const Trace b = GenerateSynthWorkload(config);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].time_us, b.records[i].time_us);
+    EXPECT_EQ(a.records[i].file_id, b.records[i].file_id);
+  }
+}
+
+// Calibration checks against Table 3, run at reduced scale for speed.  The
+// tolerances are loose: these are stochastic stand-ins, and the benches
+// report the exact achieved statistics.
+struct Target {
+  const char* name;
+  double duration_sec;
+  double distinct_kb;
+  double read_fraction;
+  std::uint32_t block_bytes;
+  double read_blocks;
+  double write_blocks;
+  double gap_mean_sec;
+};
+
+class CalibratedWorkloadTest : public ::testing::TestWithParam<Target> {};
+
+TEST_P(CalibratedWorkloadTest, MatchesTable3) {
+  const Target& target = GetParam();
+  const Trace trace = GenerateNamedWorkload(target.name, /*scale=*/1.0);
+  const TraceStats stats = ComputeTraceStats(trace, 0.1);
+
+  EXPECT_EQ(stats.block_bytes, target.block_bytes);
+  EXPECT_NEAR(stats.duration_sec / target.duration_sec, 1.0, 0.25);
+  EXPECT_NEAR(stats.read_fraction, target.read_fraction, 0.05);
+  EXPECT_NEAR(stats.read_blocks.mean() / target.read_blocks, 1.0, 0.25);
+  EXPECT_NEAR(stats.write_blocks.mean() / target.write_blocks, 1.0, 0.25);
+  // The heavy-tailed gap distribution makes the sample mean noisy (a dozen
+  // or so tail draws dominate it), hence the wide band.
+  EXPECT_NEAR(stats.interarrival_sec.mean() / target.gap_mean_sec, 1.0, 0.35);
+  EXPECT_GT(static_cast<double>(stats.distinct_kbytes), 0.4 * target.distinct_kb);
+  EXPECT_LT(static_cast<double>(stats.distinct_kbytes), 1.5 * target.distinct_kb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, CalibratedWorkloadTest,
+    ::testing::Values(Target{"mac", 12600, 22000, 0.50, 1024, 1.3, 1.2, 0.078},
+                      Target{"dos", 5400, 16300, 0.24, 512, 3.8, 3.4, 0.528},
+                      Target{"hp", 380160, 32000, 0.38, 1024, 4.3, 6.2, 11.1}),
+    [](const ::testing::TestParamInfo<Target>& info) { return info.param.name; });
+
+TEST(CalibratedWorkloadTest, DosContainsDeletions) {
+  const Trace trace = GenerateNamedWorkload("dos", 0.5);
+  std::uint64_t erases = 0;
+  for (const TraceRecord& rec : trace.records) {
+    erases += rec.op == OpType::kErase ? 1 : 0;
+  }
+  EXPECT_GT(erases, 0u);
+}
+
+TEST(CalibratedWorkloadTest, MacAndHpContainNoDeletions) {
+  for (const char* name : {"mac", "hp"}) {
+    const Trace trace = GenerateNamedWorkload(name, 0.2);
+    for (const TraceRecord& rec : trace.records) {
+      ASSERT_NE(rec.op, OpType::kErase) << name;
+    }
+  }
+}
+
+TEST(CalibratedWorkloadTest, DriftMovesTheWorkingSet) {
+  // With drift, the set of hot files early in the trace differs from the set
+  // late in the trace; without drift they coincide.
+  auto hot_overlap = [](double drift_cycles) {
+    CalibratedWorkloadConfig config = MacWorkloadConfig(0.3);
+    config.drift_cycles = drift_cycles;
+    const Trace trace = GenerateCalibratedWorkload(config);
+    auto top_files = [&](std::size_t begin, std::size_t end) {
+      std::unordered_map<std::uint32_t, int> counts;
+      for (std::size_t i = begin; i < end; ++i) {
+        ++counts[trace.records[i].file_id];
+      }
+      std::vector<std::pair<int, std::uint32_t>> ranked;
+      for (const auto& [id, n] : counts) {
+        ranked.emplace_back(n, id);
+      }
+      std::sort(ranked.rbegin(), ranked.rend());
+      std::set<std::uint32_t> top;
+      for (std::size_t i = 0; i < std::min<std::size_t>(20, ranked.size()); ++i) {
+        top.insert(ranked[i].second);
+      }
+      return top;
+    };
+    const std::size_t n = trace.records.size();
+    const auto early = top_files(0, n / 4);
+    const auto late = top_files(3 * n / 4, n);
+    std::size_t overlap = 0;
+    for (const std::uint32_t id : early) {
+      overlap += late.count(id);
+    }
+    return static_cast<double>(overlap) / static_cast<double>(early.size());
+  };
+  EXPECT_LT(hot_overlap(0.9), 0.3);  // drifted: mostly different hot sets
+  EXPECT_GT(hot_overlap(0.0), 0.7);  // stationary: mostly the same
+}
+
+TEST(CalibratedWorkloadTest, SeedsProduceDistinctButSimilarTraces) {
+  const Trace a = GenerateNamedWorkload("dos", 0.3, 1);
+  const Trace b = GenerateNamedWorkload("dos", 0.3, 2);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  int same = 0;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    same += a.records[i].file_id == b.records[i].file_id ? 1 : 0;
+  }
+  // Different realizations...
+  EXPECT_LT(same, static_cast<int>(a.records.size()) / 2);
+  // ...of the same distribution.
+  const TraceStats sa = ComputeTraceStats(a);
+  const TraceStats sb = ComputeTraceStats(b);
+  EXPECT_NEAR(sa.read_fraction, sb.read_fraction, 0.05);
+}
+
+TEST(CalibratedWorkloadTest, AccessesStayWithinFiles) {
+  const Trace trace = GenerateNamedWorkload("hp", 0.05);
+  std::unordered_map<std::uint32_t, std::uint64_t> max_end;
+  for (const TraceRecord& rec : trace.records) {
+    if (rec.op == OpType::kErase) {
+      continue;
+    }
+    max_end[rec.file_id] = std::max(max_end[rec.file_id], rec.offset + rec.size_bytes);
+    ASSERT_GT(rec.size_bytes, 0u);
+    ASSERT_EQ(rec.offset % trace.block_bytes, 0u);
+    ASSERT_EQ(rec.size_bytes % trace.block_bytes, 0u);
+  }
+  // File sizes are bounded by the generator's cap (16x the mean).
+  for (const auto& [id, end] : max_end) {
+    ASSERT_LE(end, static_cast<std::uint64_t>(16.5 * 20.0 * 1024.0));
+  }
+}
+
+TEST(CalibratedWorkloadTest, TimesAreMonotonic) {
+  const Trace trace = GenerateNamedWorkload("mac", 0.2);
+  for (std::size_t i = 1; i < trace.records.size(); ++i) {
+    ASSERT_GE(trace.records[i].time_us, trace.records[i - 1].time_us);
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
