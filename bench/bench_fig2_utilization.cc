@@ -6,16 +6,23 @@
 //
 // Flash capacity is held constant across the sweep (large relative to each
 // trace) and utilization is set by preloading filler data, mirroring the
-// paper's methodology.
+// paper's methodology.  The sweep itself runs on the src/runner engine: one
+// grid per trace, fanned across all cores, with identical results to the
+// old serial loops (per-point seeding is deterministic).
 //
-// Usage: bench_fig2_utilization [scale]
+// Usage: bench_fig2_utilization [scale] [--jsonl FILE] [--serial]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep_runner.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/util/ascii_plot.h"
@@ -24,7 +31,7 @@
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+void Run(double scale, ResultSink* export_sink, std::size_t threads) {
   const std::vector<double> utilizations = {0.40, 0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95};
 
   std::printf("== Figure 2: Intel flash card vs storage utilization (scale %.2f) ==\n", scale);
@@ -39,15 +46,31 @@ void Run(double scale) {
   int glyph_index = 0;
 
   for (const char* workload : {"mac", "dos", "hp"}) {
+    // Fixed capacity across the sweep: big enough for the highest demand.
+    // (The engine regenerates this trace internally from the same seed.)
     const Trace trace = GenerateNamedWorkload(workload, scale);
     const BlockTrace blocks = BlockMapper::Map(trace);
+    const std::uint64_t capacity =
+        RequiredCapacityBytes(blocks.total_bytes(), utilizations.front(), 128 * 1024);
+
+    ExperimentSpec spec;
+    spec.base = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+    spec.base.capacity_bytes = capacity;
+    spec.base.auto_capacity = false;
+    spec.workloads = {workload};
+    spec.utilizations = utilizations;
+    spec.scale = scale;
+
+    SweepOptions options;
+    options.threads = threads;
+    if (export_sink != nullptr) {
+      options.sinks.push_back(export_sink);
+    }
+    const std::vector<SweepOutcome> outcomes = RunSweep(spec, options);
+
     std::vector<double> xs;
     std::vector<double> energies;
     std::vector<double> write_means;
-
-    // Fixed capacity across the sweep: big enough for the highest demand.
-    const std::uint64_t capacity =
-        RequiredCapacityBytes(blocks.total_bytes(), utilizations.front(), 128 * 1024);
 
     std::printf("\n-- %s trace (flash capacity %.1f MB) --\n", workload,
                 static_cast<double>(capacity) / (1024.0 * 1024.0));
@@ -55,15 +78,9 @@ void Run(double scale) {
                         "Erases", "Blocks copied", "Max seg erases", "Mean seg erases"});
     double energy40 = 0.0;
     double write40 = 0.0;
-    for (const double util : utilizations) {
-      SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
-      if (std::string(workload) == "hp") {
-        config.dram_bytes = 0;
-      }
-      config.flash_utilization = util;
-      config.capacity_bytes = capacity;
-      config.auto_capacity = false;
-      const SimResult result = RunSimulation(blocks, config);
+    for (const SweepOutcome& outcome : outcomes) {
+      const double util = outcome.point.config.flash_utilization;
+      const SimResult& result = outcome.result;
       xs.push_back(util * 100.0);
       energies.push_back(result.total_energy_j());
       write_means.push_back(result.write_response_ms.mean());
@@ -102,7 +119,28 @@ void Run(double scale) {
 }  // namespace mobisim
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  double scale = 1.0;
+  std::string jsonl_path;
+  std::size_t threads = 0;  // all cores
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serial") == 0) {
+      threads = 1;
+    } else {
+      scale = std::atof(argv[i]);
+    }
+  }
+  std::ofstream jsonl_file;
+  std::unique_ptr<mobisim::JsonlResultSink> sink;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    sink = std::make_unique<mobisim::JsonlResultSink>(jsonl_file);
+  }
+  mobisim::Run(scale > 0.0 ? scale : 1.0, sink.get(), threads);
   return 0;
 }

@@ -4,16 +4,25 @@
 // 34-38 MB (utilization 94.1% down to 84.2%); the SunDisk SDP5 appears at
 // one size since its behaviour is utilization-independent.
 //
-// Usage: bench_fig4_dram_flash [scale]
+// The flash-size axis couples capacity and utilization, which is not a spec
+// dimension, so this bench builds its ExperimentPoints by hand and hands the
+// list to the src/runner engine — the point-level API every custom grid can
+// use.  All points (both figures and the section 5.4 mac variant) run as one
+// parallel batch.
+//
+// Usage: bench_fig4_dram_flash [scale] [--jsonl FILE] [--serial]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
-#include "src/trace/block_mapper.h"
-#include "src/trace/calibrated_workload.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep_runner.h"
 #include "src/util/table.h"
 
 namespace mobisim {
@@ -22,22 +31,65 @@ namespace {
 constexpr std::uint64_t kMb = 1024 * 1024;
 constexpr std::uint64_t kStoredData = 32 * kMb;
 
-void Run(double scale) {
+double UtilizationFor(std::uint64_t flash_bytes) {
+  return static_cast<double>(kStoredData) / static_cast<double>(flash_bytes);
+}
+
+void MakePoint(std::vector<ExperimentPoint>* points, const char* workload,
+               double scale, const DeviceSpec& device, std::uint64_t flash,
+               std::uint64_t dram) {
+  ExperimentPoint point;
+  point.index = points->size();
+  point.workload = workload;
+  point.scale = scale;
+  point.config = MakePaperConfig(device, dram);
+  point.config.capacity_bytes = flash;
+  point.config.auto_capacity = false;
+  point.config.flash_utilization = UtilizationFor(flash);
+  points->push_back(point);
+}
+
+void Run(double scale, ResultSink* export_sink, std::size_t threads) {
   std::printf("== Figure 4: DRAM size vs flash size, dos trace (scale %.2f) ==\n", scale);
   std::printf("(paper: +1 MB flash on the Intel card cuts energy ~25%% and response ~18%%;\n");
   std::printf(" adding DRAM to the Intel card only adds energy; the SDP5 gains nothing\n");
   std::printf(" from either)\n\n");
 
-  const Trace trace = GenerateNamedWorkload("dos", scale);
-  const BlockTrace blocks = BlockMapper::Map(trace);
   const std::vector<std::uint64_t> dram_sizes = {0, 512 * 1024, 1 * kMb, 2 * kMb, 3 * kMb,
                                                  4 * kMb};
   const std::vector<std::uint64_t> flash_sizes = {34 * kMb, 35 * kMb, 36 * kMb, 37 * kMb,
                                                   38 * kMb};
-
-  auto utilization_for = [](std::uint64_t flash_bytes) {
-    return static_cast<double>(kStoredData) / static_cast<double>(flash_bytes);
+  struct MacRow {
+    DeviceSpec spec;
+    std::uint64_t flash;
   };
+  const std::vector<MacRow> mac_rows = {MacRow{IntelCardDatasheet(), 34 * kMb},
+                                        MacRow{IntelCardDatasheet(), 38 * kMb},
+                                        MacRow{Sdp5Datasheet(), 34 * kMb}};
+
+  // One flat batch: Intel dos grid, SDP5 dos row, then the mac variant.
+  std::vector<ExperimentPoint> points;
+  for (const std::uint64_t flash : flash_sizes) {
+    for (const std::uint64_t dram : dram_sizes) {
+      MakePoint(&points, "dos", scale, IntelCardDatasheet(), flash, dram);
+    }
+  }
+  for (const std::uint64_t dram : dram_sizes) {
+    MakePoint(&points, "dos", scale, Sdp5Datasheet(), 34 * kMb, dram);
+  }
+  for (const MacRow& row : mac_rows) {
+    for (const std::uint64_t dram : dram_sizes) {
+      MakePoint(&points, "mac", scale, row.spec, row.flash, dram);
+    }
+  }
+
+  SweepOptions options;
+  options.threads = threads;
+  if (export_sink != nullptr) {
+    options.sinks.push_back(export_sink);
+  }
+  const std::vector<SweepOutcome> outcomes = RunSweep(points, options);
+  std::size_t next = 0;
 
   TablePrinter energy({"Config", "DRAM 0", "DRAM 512K", "DRAM 1M", "DRAM 2M", "DRAM 3M",
                        "DRAM 4M"});
@@ -48,29 +100,21 @@ void Run(double scale) {
   for (const std::uint64_t flash : flash_sizes) {
     std::snprintf(label, sizeof(label), "Intel %lluMB (%.1f%%)",
                   static_cast<unsigned long long>(flash / kMb),
-                  utilization_for(flash) * 100.0);
+                  UtilizationFor(flash) * 100.0);
     energy.BeginRow().Cell(std::string(label));
     response.BeginRow().Cell(std::string(label));
-    for (const std::uint64_t dram : dram_sizes) {
-      SimConfig config = MakePaperConfig(IntelCardDatasheet(), dram);
-      config.capacity_bytes = flash;
-      config.auto_capacity = false;
-      config.flash_utilization = utilization_for(flash);
-      const SimResult result = RunSimulation(blocks, config);
+    for (std::size_t d = 0; d < dram_sizes.size(); ++d) {
+      const SimResult& result = outcomes[next++].result;
       energy.Cell(result.total_energy_j(), 0);
       response.Cell(result.overall_response_ms.mean(), 2);
     }
   }
 
-  std::snprintf(label, sizeof(label), "SDP5 34MB (%.1f%%)", utilization_for(34 * kMb) * 100.0);
+  std::snprintf(label, sizeof(label), "SDP5 34MB (%.1f%%)", UtilizationFor(34 * kMb) * 100.0);
   energy.BeginRow().Cell(std::string(label));
   response.BeginRow().Cell(std::string(label));
-  for (const std::uint64_t dram : dram_sizes) {
-    SimConfig config = MakePaperConfig(Sdp5Datasheet(), dram);
-    config.capacity_bytes = 34 * kMb;
-    config.auto_capacity = false;
-    config.flash_utilization = utilization_for(34 * kMb);
-    const SimResult result = RunSimulation(blocks, config);
+  for (std::size_t d = 0; d < dram_sizes.size(); ++d) {
+    const SimResult& result = outcomes[next++].result;
     energy.Cell(result.total_energy_j(), 0);
     response.Cell(result.overall_response_ms.mean(), 2);
   }
@@ -84,27 +128,14 @@ void Run(double scale) {
   // DRAM cache should help the SDP5 (fewer flash reads), while the Intel
   // card benefits less.
   std::printf("\n-- section 5.4 variant: mac trace, energy (J) --\n");
-  const Trace mac_trace = GenerateNamedWorkload("mac", scale);
-  const BlockTrace mac_blocks = BlockMapper::Map(mac_trace);
   TablePrinter mac_energy({"Config", "DRAM 0", "DRAM 512K", "DRAM 1M", "DRAM 2M", "DRAM 3M",
                            "DRAM 4M"});
-  struct MacRow {
-    DeviceSpec spec;
-    std::uint64_t flash;
-  };
-  for (const MacRow& row : {MacRow{IntelCardDatasheet(), 34 * kMb},
-                            MacRow{IntelCardDatasheet(), 38 * kMb},
-                            MacRow{Sdp5Datasheet(), 34 * kMb}}) {
+  for (const MacRow& row : mac_rows) {
     std::snprintf(label, sizeof(label), "%s %lluMB", row.spec.name.c_str(),
                   static_cast<unsigned long long>(row.flash / kMb));
     mac_energy.BeginRow().Cell(std::string(label));
-    for (const std::uint64_t dram : dram_sizes) {
-      SimConfig config = MakePaperConfig(row.spec, dram);
-      config.capacity_bytes = row.flash;
-      config.auto_capacity = false;
-      config.flash_utilization = utilization_for(row.flash);
-      const SimResult result = RunSimulation(mac_blocks, config);
-      mac_energy.Cell(result.total_energy_j(), 0);
+    for (std::size_t d = 0; d < dram_sizes.size(); ++d) {
+      mac_energy.Cell(outcomes[next++].result.total_energy_j(), 0);
     }
   }
   mac_energy.Print(std::cout);
@@ -114,7 +145,28 @@ void Run(double scale) {
 }  // namespace mobisim
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  double scale = 1.0;
+  std::string jsonl_path;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serial") == 0) {
+      threads = 1;
+    } else {
+      scale = std::atof(argv[i]);
+    }
+  }
+  std::ofstream jsonl_file;
+  std::unique_ptr<mobisim::JsonlResultSink> sink;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    sink = std::make_unique<mobisim::JsonlResultSink>(jsonl_file);
+  }
+  mobisim::Run(scale > 0.0 ? scale : 1.0, sink.get(), threads);
   return 0;
 }

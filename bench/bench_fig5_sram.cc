@@ -3,30 +3,53 @@
 // write-buffer size (0 / 32 / 512 / 1024 Kbytes), for each trace.  Values
 // are normalized to the no-SRAM configuration, as in the paper.
 //
-// Usage: bench_fig5_sram [scale]
+// The whole figure is one src/runner grid — workloads x SRAM sizes — run in
+// parallel; enumeration order (workload outer, SRAM inner) matches the table
+// layout, so outcomes are consumed sequentially.
+//
+// Usage: bench_fig5_sram [scale] [--jsonl FILE] [--serial]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep_runner.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+void Run(double scale, ResultSink* export_sink, std::size_t threads) {
   const std::vector<std::uint64_t> sram_sizes = {0, 32 * 1024, 512 * 1024, 1024 * 1024};
 
   std::printf("== Figure 5: cu140 + SRAM write buffer (scale %.2f) ==\n", scale);
   std::printf("(paper: 32 KB improves mac/dos write response ~20x and hp ~2x; energy\n");
   std::printf(" drops 21%% mac / 15%% dos / 4%% hp; only hp benefits from more than 32 KB)\n\n");
 
+  ExperimentSpec spec;
+  spec.base = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
+  spec.workloads = {"mac", "dos", "hp"};
+  spec.sram_sizes = sram_sizes;
+  spec.scale = scale;
+
+  SweepOptions options;
+  options.threads = threads;
+  if (export_sink != nullptr) {
+    options.sinks.push_back(export_sink);
+  }
+  const std::vector<SweepOutcome> outcomes = RunSweep(spec, options);
+
   TablePrinter energy({"Trace", "SRAM 0", "32 KB", "512 KB", "1024 KB"});
   TablePrinter writes({"Trace", "SRAM 0", "32 KB", "512 KB", "1024 KB"});
   TablePrinter writes_abs({"Trace", "SRAM 0 (ms)", "32 KB", "512 KB", "1024 KB"});
 
+  std::size_t next = 0;
   for (const char* workload : {"mac", "dos", "hp"}) {
     double base_energy = 0.0;
     double base_write = 0.0;
@@ -34,8 +57,7 @@ void Run(double scale) {
     writes.BeginRow().Cell(std::string(workload));
     writes_abs.BeginRow().Cell(std::string(workload));
     for (const std::uint64_t sram : sram_sizes) {
-      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024, sram);
-      const SimResult result = RunNamedWorkload(workload, config, scale);
+      const SimResult& result = outcomes[next++].result;
       if (sram == 0) {
         base_energy = result.total_energy_j();
         base_write = result.write_response_ms.mean();
@@ -58,7 +80,28 @@ void Run(double scale) {
 }  // namespace mobisim
 
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
+  double scale = 1.0;
+  std::string jsonl_path;
+  std::size_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--serial") == 0) {
+      threads = 1;
+    } else {
+      scale = std::atof(argv[i]);
+    }
+  }
+  std::ofstream jsonl_file;
+  std::unique_ptr<mobisim::JsonlResultSink> sink;
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) {
+      std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
+      return 1;
+    }
+    sink = std::make_unique<mobisim::JsonlResultSink>(jsonl_file);
+  }
+  mobisim::Run(scale > 0.0 ? scale : 1.0, sink.get(), threads);
   return 0;
 }

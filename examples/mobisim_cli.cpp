@@ -2,12 +2,13 @@
 // workload (generated or loaded from a trace file) and print the results.
 //
 //   mobisim_cli [--config FILE] [key=value ...] [--workload NAME|--trace FILE]
-//               [--scale S] [--csv]
+//               [--scale S] [--seed N] [--csv]
 //
 // key=value settings are the ones documented in src/core/config_text.h, e.g.
 //   mobisim_cli device=intel-datasheet utilization=0.95 --workload mac
 //   mobisim_cli device=cu140-datasheet sram=32k spin_down=2 --workload hp
 //   mobisim_cli --config experiment.cfg --trace /tmp/mytrace.trc
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,7 +34,7 @@ int Usage() {
                "usage: mobisim_cli [--config FILE] [key=value ...]\n"
                "                   [--workload mac|dos|hp|synth | --trace FILE\n"
                "                    | --hpl-trace FILE | --disksim-trace FILE]\n"
-               "                   [--scale S] [--csv]\n");
+               "                   [--scale S] [--seed N] [--csv]\n");
   return 2;
 }
 
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   std::string hpl_path;
   std::string disksim_path;
   double scale = 1.0;
+  std::uint64_t seed = 1;  // GenerateNamedWorkload's default
   bool csv = false;
 
   std::vector<std::string> args(argv + 1, argv + argc);
@@ -95,6 +97,11 @@ int main(int argc, char** argv) {
         return Usage();
       }
       scale = std::atof(args[++i].c_str());
+    } else if (args[i] == "--seed") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      seed = static_cast<std::uint64_t>(std::strtoull(args[++i].c_str(), nullptr, 10));
     } else if (args[i] == "--csv") {
       csv = true;
     } else {
@@ -140,7 +147,9 @@ int main(int argc, char** argv) {
     }
     blocks = BlockMapper::Map(*trace);
   } else {
-    const Trace trace = GenerateNamedWorkload(workload, scale);
+    // `seed` perturbs the generator so repeated runs are reproducible and
+    // distinct seeds give independent workload instances.
+    const Trace trace = GenerateNamedWorkload(workload, scale, seed);
     blocks = BlockMapper::Map(trace);
     if (workload == "hp") {
       config.dram_bytes = 0;  // the paper's methodology for hp

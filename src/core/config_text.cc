@@ -87,6 +87,20 @@ std::optional<DeviceSpec> DeviceByName(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<CleaningPolicy> CleaningPolicyByName(const std::string& name) {
+  const std::string v = Lower(Trim(name));
+  if (v == "greedy") {
+    return CleaningPolicy::kGreedy;
+  }
+  if (v == "cost-benefit") {
+    return CleaningPolicy::kCostBenefit;
+  }
+  if (v == "wear-aware") {
+    return CleaningPolicy::kWearAware;
+  }
+  return std::nullopt;
+}
+
 bool ApplyConfigAssignment(SimConfig* config, const std::string& raw_key,
                            const std::string& raw_value, std::string* error) {
   const std::string key = Lower(Trim(raw_key));
@@ -159,17 +173,12 @@ bool ApplyConfigAssignment(SimConfig* config, const std::string& raw_key,
     return true;
   }
   if (key == "cleaning_policy") {
-    const std::string v = Lower(value);
-    if (v == "greedy") {
-      config->cleaning_policy = CleaningPolicy::kGreedy;
-    } else if (v == "cost-benefit") {
-      config->cleaning_policy = CleaningPolicy::kCostBenefit;
-    } else if (v == "wear-aware") {
-      config->cleaning_policy = CleaningPolicy::kWearAware;
-    } else {
+    const auto policy = CleaningPolicyByName(value);
+    if (!policy) {
       SetError(error, "cleaning_policy must be greedy|cost-benefit|wear-aware");
       return false;
     }
+    config->cleaning_policy = *policy;
     return true;
   }
   const struct {

@@ -49,6 +49,9 @@ std::optional<std::uint64_t> ParseSize(const std::string& text);
 std::optional<bool> ParseBool(const std::string& text);
 // Device catalog lookup by spec name ("cu140-datasheet", ...).
 std::optional<DeviceSpec> DeviceByName(const std::string& name);
+// Cleaning policy by name ("greedy", "cost-benefit", "wear-aware"); the
+// inverse of CleaningPolicyName.
+std::optional<CleaningPolicy> CleaningPolicyByName(const std::string& name);
 
 // One-line summary of a config, for logging.
 std::string DescribeConfig(const SimConfig& config);

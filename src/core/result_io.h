@@ -1,0 +1,61 @@
+// Structured export of simulation results.
+//
+// A SimResult is flattened into a ResultRow: an ordered list of key/value
+// fields (numbers rendered with round-trip precision, strings marked for
+// quoting).  Rows serialize to JSON objects (one per line -> JSONL) and CSV,
+// and parse back for tooling and tests.  The sweep engine prepends
+// configuration fields to each row so every output line is self-describing.
+#ifndef MOBISIM_SRC_CORE_RESULT_IO_H_
+#define MOBISIM_SRC_CORE_RESULT_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/sim_result.h"
+
+namespace mobisim {
+
+struct ResultField {
+  std::string key;
+  std::string value;  // already rendered
+  bool quoted = false;  // true -> JSON string / always-quoted CSV text
+};
+
+// Ordered flat record; keys are unique within a row.
+struct ResultRow {
+  std::vector<ResultField> fields;
+
+  void AddText(const std::string& key, const std::string& value);
+  // Doubles render with %.17g so that JSON -> parse -> JSON is bit-stable.
+  void AddNumber(const std::string& key, double value);
+  void AddInt(const std::string& key, std::uint64_t value);
+
+  const ResultField* Find(const std::string& key) const;
+  // Value lookup helpers; `fallback` when the key is missing or non-numeric.
+  double Number(const std::string& key, double fallback = 0.0) const;
+  std::string Text(const std::string& key, const std::string& fallback = "") const;
+};
+
+// Flattens the full SimResult: energy split, response-time statistics,
+// percentiles, counters, cache behaviour, endurance, and per-mode device
+// seconds (as mode_<name>_sec).
+ResultRow ResultToRow(const SimResult& result);
+
+// --- JSON (one flat object per row) ---
+std::string RowToJson(const ResultRow& row);
+// Parses a flat JSON object with string/number/bool/null values.  Returns
+// nullopt (with a message in `error`) on malformed input or nesting.
+std::optional<ResultRow> RowFromJson(const std::string& text, std::string* error);
+
+// --- CSV (RFC-4180-style quoting) ---
+std::string RowToCsvHeader(const ResultRow& row);
+std::string RowToCsvLine(const ResultRow& row);
+// Reassembles a row from a header line and a data line.
+std::optional<ResultRow> RowFromCsv(const std::string& header, const std::string& line,
+                                    std::string* error);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_CORE_RESULT_IO_H_

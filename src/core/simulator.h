@@ -1,5 +1,23 @@
 // Trace-driven simulator: runs a block-level workload through a
 // StorageSystem and gathers the paper's metrics.
+//
+// Thread-safety contract (relied on by src/runner's parallel sweep engine;
+// audited 2026-08, keep it true):
+//   - RunSimulation and RunNamedWorkload share no mutable state: every piece
+//     of simulation state (StorageSystem, devices, caches, RNGs, reservoir
+//     samplers) is constructed per call, and the workload generators seed
+//     their own Rng instances.  Concurrent calls from different threads are
+//     safe, and results are bit-identical to serial execution regardless of
+//     scheduling.
+//   - A `const BlockTrace&` may be shared across concurrent RunSimulation
+//     calls; the simulator only reads it.
+//   - Do NOT share one StorageSystem/StorageDevice across threads, even
+//     through const methods: some accessors refresh cached aggregates (e.g.
+//     FlashCard::counters() recomputes erase statistics into a mutable
+//     member).  One simulation, one thread.
+//   - Anything added to this path must stay free of function-local statics,
+//     globals, and ambient RNG (rand, time-seeded generators); determinism
+//     here is what makes parallel sweeps reproducible.
 #ifndef MOBISIM_SRC_CORE_SIMULATOR_H_
 #define MOBISIM_SRC_CORE_SIMULATOR_H_
 

@@ -1,0 +1,279 @@
+#include "src/runner/experiment_spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "src/core/config_text.h"
+
+namespace mobisim {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> items;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) {
+    item = Trim(item);
+    if (!item.empty()) {
+      items.push_back(item);
+    }
+  }
+  return items;
+}
+
+std::optional<double> ParseFraction(const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(text, &consumed);
+    if (consumed != text.size() || v < 0.0 || v >= 1.0) {
+      return std::nullopt;
+    }
+    return v;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> ParseU64(const std::string& text) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long v = std::stoull(text, &consumed);
+    if (consumed != text.size()) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(v);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+// Effective size of a dimension: empty sweeps nothing but still contributes
+// one point (the base value).
+template <typename T>
+std::size_t DimSize(const std::vector<T>& dim) {
+  return dim.empty() ? 1 : dim.size();
+}
+
+}  // namespace
+
+std::size_t GridSize(const ExperimentSpec& spec) {
+  return DimSize(spec.devices) * DimSize(spec.workloads) * DimSize(spec.utilizations) *
+         DimSize(spec.dram_sizes) * DimSize(spec.sram_sizes) *
+         DimSize(spec.cleaning_policies) * DimSize(spec.seeds);
+}
+
+std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
+  // Materialize each dimension with its fallback so the nest below is uniform.
+  const std::vector<DeviceSpec> devices =
+      spec.devices.empty() ? std::vector<DeviceSpec>{spec.base.device} : spec.devices;
+  const std::vector<std::string> workloads =
+      spec.workloads.empty() ? std::vector<std::string>{"synth"} : spec.workloads;
+  const std::vector<double> utilizations =
+      spec.utilizations.empty() ? std::vector<double>{spec.base.flash_utilization}
+                                : spec.utilizations;
+  const std::vector<std::uint64_t> dram_sizes =
+      spec.dram_sizes.empty() ? std::vector<std::uint64_t>{spec.base.dram_bytes}
+                              : spec.dram_sizes;
+  const std::vector<std::uint64_t> sram_sizes =
+      spec.sram_sizes.empty() ? std::vector<std::uint64_t>{spec.base.sram_bytes}
+                              : spec.sram_sizes;
+  const std::vector<CleaningPolicy> policies =
+      spec.cleaning_policies.empty()
+          ? std::vector<CleaningPolicy>{spec.base.cleaning_policy}
+          : spec.cleaning_policies;
+  const std::vector<std::uint64_t> seeds =
+      spec.seeds.empty() ? std::vector<std::uint64_t>{1} : spec.seeds;
+
+  std::vector<ExperimentPoint> points;
+  points.reserve(GridSize(spec));
+  for (const DeviceSpec& device : devices) {
+    for (const std::string& workload : workloads) {
+      for (const double utilization : utilizations) {
+        for (const std::uint64_t dram : dram_sizes) {
+          for (const std::uint64_t sram : sram_sizes) {
+            for (const CleaningPolicy policy : policies) {
+              for (const std::uint64_t seed : seeds) {
+                ExperimentPoint point;
+                point.index = points.size();
+                point.workload = workload;
+                point.scale = spec.scale;
+                point.seed = seed;
+                point.config = spec.base;
+                point.config.device = device;
+                point.config.flash_utilization = utilization;
+                point.config.dram_bytes = dram;
+                point.config.sram_bytes = sram;
+                point.config.cleaning_policy = policy;
+                points.push_back(std::move(point));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
+                         const std::string& raw_value, std::string* error) {
+  std::string key = Trim(raw_key);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  const std::string value = Trim(raw_value);
+
+  if (key == "devices") {
+    spec->devices.clear();
+    for (const std::string& name : SplitList(value)) {
+      const auto device = DeviceByName(name);
+      if (!device) {
+        SetError(error, "unknown device '" + name + "' in devices list");
+        return false;
+      }
+      spec->devices.push_back(*device);
+    }
+    return true;
+  }
+  if (key == "workloads") {
+    spec->workloads = SplitList(value);
+    for (const std::string& name : spec->workloads) {
+      if (name != "mac" && name != "dos" && name != "pc" && name != "hp" &&
+          name != "synth") {
+        SetError(error, "unknown workload '" + name + "' in workloads list");
+        return false;
+      }
+    }
+    return true;
+  }
+  if (key == "utilizations") {
+    spec->utilizations.clear();
+    for (const std::string& item : SplitList(value)) {
+      const auto v = ParseFraction(item);
+      if (!v) {
+        SetError(error, "bad utilization '" + item + "' (want fraction in [0, 1))");
+        return false;
+      }
+      spec->utilizations.push_back(*v);
+    }
+    return true;
+  }
+  if (key == "dram_sizes" || key == "sram_sizes") {
+    std::vector<std::uint64_t> sizes;
+    for (const std::string& item : SplitList(value)) {
+      const auto size = ParseSize(item);
+      if (!size) {
+        SetError(error, "bad size '" + item + "' in " + key);
+        return false;
+      }
+      sizes.push_back(*size);
+    }
+    (key == "dram_sizes" ? spec->dram_sizes : spec->sram_sizes) = std::move(sizes);
+    return true;
+  }
+  if (key == "cleaning_policies") {
+    spec->cleaning_policies.clear();
+    for (const std::string& item : SplitList(value)) {
+      const auto policy = CleaningPolicyByName(item);
+      if (!policy) {
+        SetError(error, "bad cleaning policy '" + item +
+                            "' (want greedy|cost-benefit|wear-aware)");
+        return false;
+      }
+      spec->cleaning_policies.push_back(*policy);
+    }
+    return true;
+  }
+  if (key == "seeds") {
+    spec->seeds.clear();
+    for (const std::string& item : SplitList(value)) {
+      const auto seed = ParseU64(item);
+      if (!seed) {
+        SetError(error, "bad seed '" + item + "'");
+        return false;
+      }
+      spec->seeds.push_back(*seed);
+    }
+    return true;
+  }
+  if (key == "scale") {
+    try {
+      std::size_t consumed = 0;
+      const double v = std::stod(value, &consumed);
+      if (consumed != value.size() || v <= 0.0) {
+        SetError(error, "bad scale '" + value + "'");
+        return false;
+      }
+      spec->scale = v;
+      return true;
+    } catch (...) {
+      SetError(error, "bad scale '" + value + "'");
+      return false;
+    }
+  }
+  // Everything else is a base-config key.
+  return ApplyConfigAssignment(&spec->base, key, value, error);
+}
+
+std::optional<ExperimentSpec> ParseExperimentSpec(const std::string& text,
+                                                  std::string* error) {
+  ExperimentSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      SetError(error, "line " + std::to_string(line_no) + ": expected key = value");
+      return std::nullopt;
+    }
+    std::string assign_error;
+    if (!ApplySpecAssignment(&spec, line.substr(0, eq), line.substr(eq + 1),
+                             &assign_error)) {
+      SetError(error, "line " + std::to_string(line_no) + ": " + assign_error);
+      return std::nullopt;
+    }
+  }
+  return spec;
+}
+
+std::string DescribeSpec(const ExperimentSpec& spec) {
+  std::ostringstream out;
+  out << DimSize(spec.devices) << " devices x " << DimSize(spec.workloads)
+      << " workloads x " << DimSize(spec.utilizations) << " utilizations x "
+      << DimSize(spec.dram_sizes) << " dram x " << DimSize(spec.sram_sizes)
+      << " sram x " << DimSize(spec.cleaning_policies) << " policies x "
+      << DimSize(spec.seeds) << " seeds = " << GridSize(spec) << " points (scale "
+      << spec.scale << ")";
+  return out.str();
+}
+
+}  // namespace mobisim

@@ -1,0 +1,75 @@
+// Declarative description of a parameter sweep: a base SimConfig plus a list
+// of values per swept dimension.  The cross product enumerates to concrete
+// ExperimentPoints in a fixed, documented order, so results are addressable
+// by index and parallel execution can never reorder them.
+//
+// Spec text reuses the config_text `key = value` syntax.  Non-sweep keys are
+// applied to the base configuration (see src/core/config_text.h); sweep keys
+// take comma-separated lists:
+//   devices            device catalog names
+//   workloads          mac | dos | hp | synth
+//   utilizations       flash live fractions (0..1)
+//   dram_sizes         DRAM buffer-cache sizes (k/m/g suffixes)
+//   sram_sizes         SRAM write-buffer sizes
+//   cleaning_policies  greedy | cost-benefit | wear-aware
+//   seeds              workload generator seeds (integers)
+//   scale              workload scale factor (single value, not swept)
+// An omitted dimension sweeps nothing: the base config's value is used.
+#ifndef MOBISIM_SRC_RUNNER_EXPERIMENT_SPEC_H_
+#define MOBISIM_SRC_RUNNER_EXPERIMENT_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/sim_config.h"
+
+namespace mobisim {
+
+struct ExperimentSpec {
+  // Same default as mobisim_cli: Intel card, 2-MB DRAM cache.
+  SimConfig base = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+  std::vector<DeviceSpec> devices;
+  std::vector<std::string> workloads;
+  std::vector<double> utilizations;
+  std::vector<std::uint64_t> dram_sizes;
+  std::vector<std::uint64_t> sram_sizes;
+  std::vector<CleaningPolicy> cleaning_policies;
+  std::vector<std::uint64_t> seeds;
+  double scale = 1.0;
+};
+
+// One cell of the grid: a fully resolved configuration plus the workload to
+// generate.  `index` is the position in enumeration order.
+struct ExperimentPoint {
+  std::size_t index = 0;
+  std::string workload = "synth";
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  SimConfig config;
+};
+
+// Number of points the spec enumerates (empty dimensions count as 1).
+std::size_t GridSize(const ExperimentSpec& spec);
+
+// Expands the cross product.  Enumeration order nests, outermost first:
+// device, workload, utilization, dram, sram, cleaning policy, seed — i.e.
+// the seed varies fastest.
+std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec);
+
+// Applies one `key = value` line: sweep keys here, anything else delegated to
+// ApplyConfigAssignment on the base config.  False + `error` on bad input.
+bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& key,
+                         const std::string& value, std::string* error);
+
+// Parses a whole spec file ('#' comments, blank lines, `key = value`).
+std::optional<ExperimentSpec> ParseExperimentSpec(const std::string& text,
+                                                  std::string* error);
+
+// One-line summary ("2 devices x 3 workloads x 6 utilizations = 36 points").
+std::string DescribeSpec(const ExperimentSpec& spec);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_RUNNER_EXPERIMENT_SPEC_H_

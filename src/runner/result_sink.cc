@@ -1,0 +1,25 @@
+#include "src/runner/result_sink.h"
+
+#include "src/util/check.h"
+
+namespace mobisim {
+
+void JsonlResultSink::Write(const ResultRow& row) { out_ << RowToJson(row) << "\n"; }
+
+void JsonlResultSink::Finish() { out_.flush(); }
+
+void CsvResultSink::Write(const ResultRow& row) {
+  const std::string header = RowToCsvHeader(row);
+  if (!wrote_header_) {
+    header_ = header;
+    wrote_header_ = true;
+    out_ << header_ << "\n";
+  } else {
+    MOBISIM_CHECK(header == header_ && "CSV rows must share one schema");
+  }
+  out_ << RowToCsvLine(row) << "\n";
+}
+
+void CsvResultSink::Finish() { out_.flush(); }
+
+}  // namespace mobisim

@@ -1,0 +1,52 @@
+// Streaming destinations for sweep results.
+//
+// The sweep runner emits rows strictly in point (enumeration) order, one call
+// at a time, so sinks need no locking of their own.  Finish() flushes; it is
+// called once after the last row (and is safe to call on an empty run).
+#ifndef MOBISIM_SRC_RUNNER_RESULT_SINK_H_
+#define MOBISIM_SRC_RUNNER_RESULT_SINK_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/core/result_io.h"
+
+namespace mobisim {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void Write(const ResultRow& row) = 0;
+  virtual void Finish() {}
+};
+
+// One JSON object per line (JSONL / NDJSON).
+class JsonlResultSink : public ResultSink {
+ public:
+  explicit JsonlResultSink(std::ostream& out) : out_(out) {}
+  void Write(const ResultRow& row) override;
+  void Finish() override;
+
+ private:
+  std::ostream& out_;
+};
+
+// CSV with a header derived from the first row.  Later rows must carry the
+// same keys in the same order (the sweep runner guarantees this for rows it
+// produces); a mismatch MOBISIM_CHECK-fails rather than writing a corrupt
+// table.
+class CsvResultSink : public ResultSink {
+ public:
+  explicit CsvResultSink(std::ostream& out) : out_(out) {}
+  void Write(const ResultRow& row) override;
+  void Finish() override;
+
+ private:
+  std::ostream& out_;
+  std::string header_;
+  bool wrote_header_ = false;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_RUNNER_RESULT_SINK_H_

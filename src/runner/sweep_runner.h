@@ -1,0 +1,56 @@
+// Parallel execution of experiment grids.
+//
+// RunSweep fans a list of ExperimentPoints across a fixed thread pool.  Every
+// source of randomness is seeded per point (the workload generator from
+// point.seed, the result reservoirs from compile-time constants), and traces
+// are generated once per distinct (workload, scale, seed) and shared
+// read-only, so a parallel run produces bit-identical SimResults to a serial
+// run of the same points — scheduling order cannot leak into the numbers.
+// Rows reach the sinks strictly in enumeration order regardless of which
+// point finishes first.
+#ifndef MOBISIM_SRC_RUNNER_SWEEP_RUNNER_H_
+#define MOBISIM_SRC_RUNNER_SWEEP_RUNNER_H_
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "src/core/sim_result.h"
+#include "src/runner/experiment_spec.h"
+#include "src/runner/result_sink.h"
+
+namespace mobisim {
+
+struct SweepOptions {
+  // Worker threads; 0 = one per hardware core, 1 = serial (no pool).
+  std::size_t threads = 0;
+  // Optional sinks; rows are written in point order as prefixes complete.
+  std::vector<ResultSink*> sinks;
+  // Progress meter destination (e.g. &std::cerr); null disables it.
+  std::ostream* progress = nullptr;
+};
+
+struct SweepOutcome {
+  ExperimentPoint point;
+  SimResult result;
+  // Config metadata + flattened result, exactly what the sinks received.
+  ResultRow row;
+};
+
+// Metadata columns (point, workload, seed, scale, device, utilization, sizes,
+// cleaning policy) prepended to every exported row.
+ResultRow PointToRow(const ExperimentPoint& point);
+
+// Runs the points and returns outcomes indexed by point order.  Honours the
+// paper's hp methodology (the hp trace is simulated without a DRAM cache,
+// matching RunNamedWorkload); the adjusted config is what the row reports.
+std::vector<SweepOutcome> RunSweep(const std::vector<ExperimentPoint>& points,
+                                   const SweepOptions& options);
+
+// Convenience: enumerate the spec's grid and run it.
+std::vector<SweepOutcome> RunSweep(const ExperimentSpec& spec,
+                                   const SweepOptions& options);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_RUNNER_SWEEP_RUNNER_H_

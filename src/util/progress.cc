@@ -1,0 +1,68 @@
+#include "src/util/progress.h"
+
+#include <cstdio>
+
+namespace mobisim {
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total, std::ostream* out)
+    : label_(std::move(label)),
+      total_(total),
+      out_(out),
+      start_(std::chrono::steady_clock::now()),
+      last_render_(start_ - std::chrono::hours(1)) {}
+
+ProgressMeter::~ProgressMeter() { Finish(); }
+
+void ProgressMeter::Advance(std::uint64_t delta) {
+  if (out_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ += delta;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ += delta;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_render_ < std::chrono::milliseconds(100) && done_ != total_) {
+    return;
+  }
+  last_render_ = now;
+  Render(/*final_line=*/false);
+}
+
+void ProgressMeter::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (out_ != nullptr) {
+    Render(/*final_line=*/true);
+  }
+}
+
+std::uint64_t ProgressMeter::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void ProgressMeter::Render(bool final_line) {
+  const double elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  char buf[160];
+  if (total_ > 0) {
+    const double pct = 100.0 * static_cast<double>(done_) / static_cast<double>(total_);
+    std::snprintf(buf, sizeof(buf), "\r%s  %llu/%llu (%3.0f%%)  elapsed %.1fs ",
+                  label_.c_str(), static_cast<unsigned long long>(done_),
+                  static_cast<unsigned long long>(total_), pct, elapsed_sec);
+  } else {
+    std::snprintf(buf, sizeof(buf), "\r%s  %llu  elapsed %.1fs ", label_.c_str(),
+                  static_cast<unsigned long long>(done_), elapsed_sec);
+  }
+  (*out_) << buf;
+  if (final_line) {
+    (*out_) << "\n";
+  }
+  out_->flush();
+}
+
+}  // namespace mobisim

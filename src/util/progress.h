@@ -1,0 +1,51 @@
+// Thread-safe progress reporting for long sweeps.
+//
+// Renders a single self-overwriting line ("label  12/96 (12%)  elapsed 3.2s")
+// to the given stream, rate-limited so that thousands of fast jobs do not
+// drown the terminal.  A null stream disables output entirely, which keeps
+// call sites branch-free.
+#ifndef MOBISIM_SRC_UTIL_PROGRESS_H_
+#define MOBISIM_SRC_UTIL_PROGRESS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace mobisim {
+
+class ProgressMeter {
+ public:
+  // `out` may be null (meter disabled).  `total` of 0 renders counts only.
+  ProgressMeter(std::string label, std::uint64_t total, std::ostream* out);
+  // Finishes the line if Finish() was not called explicitly.
+  ~ProgressMeter();
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  // Records `delta` completed units; repaints at most ~10x per second.
+  void Advance(std::uint64_t delta = 1);
+  // Paints the final state and a newline.  Idempotent.
+  void Finish();
+
+  std::uint64_t done() const;
+
+ private:
+  void Render(bool final_line);
+
+  const std::string label_;
+  const std::uint64_t total_;
+  std::ostream* const out_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::uint64_t done_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point last_render_;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_PROGRESS_H_

@@ -1,0 +1,68 @@
+// Fixed-size worker pool for fanning simulation jobs across cores.
+//
+// Deliberately minimal: a single locked queue feeding std::thread workers, no
+// work stealing, no dependencies beyond the standard library.  Simulation
+// jobs are seconds long, so queue contention is irrelevant and a simple FIFO
+// keeps completion order easy to reason about.  Exceptions thrown by jobs are
+// captured; the first one is rethrown from Wait() (remaining jobs still run,
+// so counters stay consistent and shutdown never hangs).
+#ifndef MOBISIM_SRC_UTIL_THREAD_POOL_H_
+#define MOBISIM_SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mobisim {
+
+class ThreadPool {
+ public:
+  // Spawns `thread_count` workers; 0 means DefaultThreadCount().
+  explicit ThreadPool(std::size_t thread_count = 0);
+  // Waits for queued jobs to finish, then joins the workers.  Any captured
+  // exception is swallowed here (call Wait() first if you care).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job.  Must not be called concurrently with the destructor.
+  void Submit(std::function<void()> job);
+
+  // Blocks until every submitted job has completed.  If any job threw, the
+  // first captured exception is rethrown (and cleared, so the pool remains
+  // usable afterwards).
+  void Wait();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0..count-1) across the pool and waits; propagates the first
+// exception.  With a null pool (or a single worker and an empty queue the
+// call degenerates to the same serial order) jobs run inline on the caller.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_THREAD_POOL_H_

@@ -1,0 +1,322 @@
+// Tests for the src/runner sweep engine: grid enumeration, parallel-vs-serial
+// result equality, JSONL/CSV round-trips, and thread-pool behaviour under
+// exceptions.
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/result_io.h"
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/runner/experiment_spec.h"
+#include "src/runner/result_sink.h"
+#include "src/runner/sweep_runner.h"
+#include "src/util/thread_pool.h"
+
+namespace mobisim {
+namespace {
+
+// A small but non-trivial grid: 2 devices x 1 workload x 3 utilizations x
+// 2 seeds = 12 points, synth workload at a tiny scale so the suite stays fast.
+ExperimentSpec SmallSpec() {
+  ExperimentSpec spec;
+  spec.base = MakePaperConfig(IntelCardDatasheet(), 512 * 1024);
+  spec.devices = {IntelCardDatasheet(), Sdp5Datasheet()};
+  spec.workloads = {"synth"};
+  spec.utilizations = {0.40, 0.80, 0.95};
+  spec.seeds = {1, 7};
+  spec.scale = 0.02;
+  return spec;
+}
+
+TEST(ExperimentSpecTest, GridSizeCountsEmptyDimensionsAsOne) {
+  ExperimentSpec spec;
+  EXPECT_EQ(GridSize(spec), 1u);
+  spec.workloads = {"mac", "dos"};
+  EXPECT_EQ(GridSize(spec), 2u);
+  spec.utilizations = {0.4, 0.6, 0.8};
+  EXPECT_EQ(GridSize(spec), 6u);
+  spec.seeds = {1, 2, 3, 4};
+  EXPECT_EQ(GridSize(spec), 24u);
+}
+
+TEST(ExperimentSpecTest, EnumerationOrderNestsSeedFastest) {
+  ExperimentSpec spec = SmallSpec();
+  const std::vector<ExperimentPoint> points = EnumerateGrid(spec);
+  ASSERT_EQ(points.size(), 12u);
+  ASSERT_EQ(points.size(), GridSize(spec));
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+  }
+  // Seed is the innermost dimension...
+  EXPECT_EQ(points[0].seed, 1u);
+  EXPECT_EQ(points[1].seed, 7u);
+  // ...then utilization...
+  EXPECT_DOUBLE_EQ(points[0].config.flash_utilization, 0.40);
+  EXPECT_DOUBLE_EQ(points[2].config.flash_utilization, 0.80);
+  EXPECT_DOUBLE_EQ(points[4].config.flash_utilization, 0.95);
+  // ...and device is outermost: first half Intel, second half SDP5.
+  EXPECT_EQ(points[0].config.device.name, IntelCardDatasheet().name);
+  EXPECT_EQ(points[6].config.device.name, Sdp5Datasheet().name);
+  EXPECT_EQ(points[11].config.device.name, Sdp5Datasheet().name);
+}
+
+TEST(ExperimentSpecTest, ParsesSweepAndBaseKeys) {
+  std::string error;
+  const auto spec = ParseExperimentSpec(
+      "# sweep spec\n"
+      "device = intel-datasheet\n"
+      "devices = intel-datasheet, sdp5-datasheet\n"
+      "workloads = mac, dos\n"
+      "utilizations = 0.4, 0.5, 0.6, 0.7, 0.8, 0.9\n"
+      "dram_sizes = 0, 2m\n"
+      "seeds = 1, 2, 3\n"
+      "scale = 0.25\n"
+      "write_back = true\n",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->devices.size(), 2u);
+  EXPECT_EQ(spec->workloads.size(), 2u);
+  EXPECT_EQ(spec->utilizations.size(), 6u);
+  EXPECT_EQ(spec->dram_sizes.size(), 2u);
+  EXPECT_EQ(spec->dram_sizes[1], 2u * 1024 * 1024);
+  EXPECT_EQ(spec->seeds.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec->scale, 0.25);
+  EXPECT_TRUE(spec->base.write_back_cache);
+  EXPECT_EQ(GridSize(*spec), 2u * 2 * 6 * 2 * 3);
+}
+
+TEST(ExperimentSpecTest, RejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(ParseExperimentSpec("devices = warp-drive\n", &error).has_value());
+  EXPECT_NE(error.find("warp-drive"), std::string::npos);
+  EXPECT_FALSE(ParseExperimentSpec("workloads = mac, vax\n", &error).has_value());
+  EXPECT_FALSE(ParseExperimentSpec("utilizations = 1.5\n", &error).has_value());
+  EXPECT_FALSE(ParseExperimentSpec("seeds = one\n", &error).has_value());
+  EXPECT_FALSE(ParseExperimentSpec("scale = -2\n", &error).has_value());
+  EXPECT_FALSE(ParseExperimentSpec("no equals sign\n", &error).has_value());
+}
+
+// The core guarantee of the engine: fanning a grid across threads changes
+// nothing about the numbers.  Counters must match bitwise; floats are
+// compared with a tolerance (they are in fact identical too, since each
+// point's computation is untouched by scheduling, but the contract only
+// promises tolerance).
+TEST(SweepRunnerTest, ParallelMatchesSerial) {
+  const ExperimentSpec spec = SmallSpec();
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const std::vector<SweepOutcome> serial_outcomes = RunSweep(spec, serial);
+
+  SweepOptions parallel;
+  parallel.threads = 4;
+  const std::vector<SweepOutcome> parallel_outcomes = RunSweep(spec, parallel);
+
+  ASSERT_EQ(serial_outcomes.size(), parallel_outcomes.size());
+  for (std::size_t i = 0; i < serial_outcomes.size(); ++i) {
+    const SimResult& s = serial_outcomes[i].result;
+    const SimResult& p = parallel_outcomes[i].result;
+    EXPECT_EQ(s.workload, p.workload);
+    EXPECT_EQ(s.device, p.device);
+    // Bitwise on counters.
+    EXPECT_EQ(s.counters.reads, p.counters.reads);
+    EXPECT_EQ(s.counters.writes, p.counters.writes);
+    EXPECT_EQ(s.counters.bytes_read, p.counters.bytes_read);
+    EXPECT_EQ(s.counters.bytes_written, p.counters.bytes_written);
+    EXPECT_EQ(s.counters.segment_erases, p.counters.segment_erases);
+    EXPECT_EQ(s.counters.blocks_copied, p.counters.blocks_copied);
+    EXPECT_EQ(s.counters.write_stalls, p.counters.write_stalls);
+    EXPECT_EQ(s.record_count, p.record_count);
+    EXPECT_EQ(s.dram_hits, p.dram_hits);
+    EXPECT_EQ(s.dram_misses, p.dram_misses);
+    // Tolerance on floats.
+    EXPECT_NEAR(s.total_energy_j(), p.total_energy_j(), 1e-9);
+    EXPECT_NEAR(s.write_response_ms.mean(), p.write_response_ms.mean(), 1e-12);
+    EXPECT_NEAR(s.read_response_ms.mean(), p.read_response_ms.mean(), 1e-12);
+    EXPECT_NEAR(s.duration_sec, p.duration_sec, 1e-12);
+    EXPECT_NEAR(s.max_segment_erases, p.max_segment_erases, 1e-12);
+  }
+}
+
+TEST(SweepRunnerTest, SinksReceiveRowsInPointOrder) {
+  const ExperimentSpec spec = SmallSpec();
+  std::ostringstream jsonl_out;
+  JsonlResultSink jsonl(jsonl_out);
+  SweepOptions options;
+  options.threads = 4;
+  options.sinks.push_back(&jsonl);
+  const std::vector<SweepOutcome> outcomes = RunSweep(spec, options);
+
+  std::istringstream lines(jsonl_out.str());
+  std::string line;
+  std::size_t expected_point = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    const auto row = RowFromJson(line, &error);
+    ASSERT_TRUE(row.has_value()) << error << " in: " << line;
+    EXPECT_EQ(static_cast<std::size_t>(row->Number("point", -1)), expected_point);
+    ++expected_point;
+  }
+  EXPECT_EQ(expected_point, outcomes.size());
+}
+
+TEST(SweepRunnerTest, HpRunsWithoutDramLikeRunNamedWorkload) {
+  ExperimentSpec spec;
+  spec.base = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
+  spec.workloads = {"hp"};
+  spec.scale = 0.002;
+  SweepOptions options;
+  options.threads = 1;
+  const auto outcomes = RunSweep(spec, options);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].point.config.dram_bytes, 0u);
+  EXPECT_EQ(outcomes[0].result.dram_hits + outcomes[0].result.dram_misses, 0u);
+}
+
+SimResult MakeResult() {
+  SimConfig config = MakePaperConfig(IntelCardDatasheet(), 256 * 1024);
+  return RunNamedWorkload("synth", config, 0.02);
+}
+
+TEST(ResultIoTest, JsonlRoundTrip) {
+  const SimResult result = MakeResult();
+  const ResultRow row = ResultToRow(result);
+  const std::string json = RowToJson(row);
+
+  std::string error;
+  const auto parsed = RowFromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->fields.size(), row.fields.size());
+  for (std::size_t i = 0; i < row.fields.size(); ++i) {
+    EXPECT_EQ(parsed->fields[i].key, row.fields[i].key);
+    EXPECT_EQ(parsed->fields[i].value, row.fields[i].value);
+    EXPECT_EQ(parsed->fields[i].quoted, row.fields[i].quoted);
+  }
+  // Bitwise on counters (integers survive the text round trip exactly)...
+  EXPECT_EQ(static_cast<std::uint64_t>(parsed->Number("segment_erases", -1)),
+            result.counters.segment_erases);
+  EXPECT_EQ(static_cast<std::uint64_t>(parsed->Number("record_count", -1)),
+            result.record_count);
+  // ...tolerance on floats (%.17g makes doubles round-trip exactly as well).
+  EXPECT_NEAR(parsed->Number("total_energy_j"), result.total_energy_j(), 1e-12);
+  EXPECT_NEAR(parsed->Number("write_ms_mean"), result.write_response_ms.mean(), 1e-12);
+  EXPECT_EQ(parsed->Text("workload"), result.workload);
+  EXPECT_EQ(parsed->Text("device"), result.device);
+  // Re-serializing reproduces the line byte for byte.
+  EXPECT_EQ(RowToJson(*parsed), json);
+}
+
+TEST(ResultIoTest, CsvRoundTrip) {
+  const SimResult result = MakeResult();
+  const ResultRow row = ResultToRow(result);
+  const std::string header = RowToCsvHeader(row);
+  const std::string line = RowToCsvLine(row);
+
+  std::string error;
+  const auto parsed = RowFromCsv(header, line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->fields.size(), row.fields.size());
+  for (std::size_t i = 0; i < row.fields.size(); ++i) {
+    EXPECT_EQ(parsed->fields[i].key, row.fields[i].key);
+    EXPECT_EQ(parsed->fields[i].value, row.fields[i].value);
+  }
+  EXPECT_EQ(RowToCsvHeader(*parsed), header);
+  EXPECT_EQ(RowToCsvLine(*parsed), line);
+}
+
+TEST(ResultIoTest, JsonEscapesAndRejectsMalformedInput) {
+  ResultRow row;
+  row.AddText("name", "quote \" backslash \\ newline \n done");
+  const std::string json = RowToJson(row);
+  std::string error;
+  const auto parsed = RowFromJson(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Text("name"), "quote \" backslash \\ newline \n done");
+
+  EXPECT_FALSE(RowFromJson("", &error).has_value());
+  EXPECT_FALSE(RowFromJson("{\"a\":1", &error).has_value());
+  EXPECT_FALSE(RowFromJson("{\"a\":{\"nested\":1}}", &error).has_value());
+  EXPECT_FALSE(RowFromJson("{\"a\":1} trailing", &error).has_value());
+}
+
+TEST(ResultIoTest, CsvQuotesCommasAndQuotes) {
+  ResultRow row;
+  row.AddText("label", "a,b \"c\"");
+  row.AddInt("n", 42);
+  const std::string header = RowToCsvHeader(row);
+  const std::string line = RowToCsvLine(row);
+  EXPECT_EQ(line, "\"a,b \"\"c\"\"\",42");
+  std::string error;
+  const auto parsed = RowFromCsv(header, line, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Text("label"), "a,b \"c\"");
+  EXPECT_EQ(parsed->Number("n"), 42.0);
+}
+
+TEST(ThreadPoolTest, RunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstExceptionAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&completed, i] {
+      if (i % 4 == 0) {
+        throw std::runtime_error("job failed");
+      }
+      completed.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Non-throwing jobs all ran despite the failures.
+  EXPECT_EQ(completed.load(), 12);
+  // The pool remains usable: the error was cleared by Wait.
+  pool.Submit([&completed] { completed.fetch_add(1); });
+  pool.Wait();  // must not throw or hang
+  EXPECT_EQ(completed.load(), 13);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueueWithoutWait) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count, i] {
+        if (i == 10) {
+          throw std::runtime_error("boom");  // swallowed by the destructor
+        }
+        count.fetch_add(1);
+      });
+    }
+    // No Wait(): destructor must finish the queue and join cleanly.
+  }
+  EXPECT_EQ(count.load(), 49);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeSeriallyAndInParallel) {
+  std::vector<int> hits(200, 0);
+  ParallelFor(nullptr, hits.size(), [&hits](std::size_t i) { hits[i] += 1; });
+  ThreadPool pool(4);
+  ParallelFor(&pool, hits.size(), [&hits](std::size_t i) { hits[i] += 2; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], 3) << "index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
