@@ -4,6 +4,7 @@
 //
 //   mobisim_sweep [--spec FILE] [key=value ...] [--jobs N] [--serial]
 //                 [--jsonl FILE|-] [--csv FILE|-] [--list] [--quiet]
+//                 [--shard K/N] [--db DIR --name NAME [--sha SHA]]
 //
 // key=value tokens use the spec syntax of src/runner/experiment_spec.h
 // (sweep lists like `workloads=mac,dos` plus every base-config key from
@@ -17,6 +18,17 @@
 //   # 24-point device x workload x utilization grid, CSV to stdout:
 //   mobisim_sweep devices=intel-datasheet,sdp5-datasheet workloads=mac,dos
 //       'utilizations=0.4,0.5,0.6,0.7,0.8,0.9' --csv -
+//
+// --shard K/N keeps only points with index % N == K (indices stay global, so
+// shards from different machines merge by concatenating their JSONL).
+//
+// --db lands the run in a bench_db result store as
+// <DIR>/<sha>/<NAME>.jsonl with a metadata header (spec fingerprint, date,
+// host) and a manifest entry; --sha defaults to $GITHUB_SHA, then
+// $MOBISIM_GIT_SHA, then "local".  JSONL output (--jsonl and --db files)
+// starts with the same metadata header line; readers recognise it by its
+// leading "_meta" key.
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +38,9 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "src/bench_db/bench_db.h"
 #include "src/core/config_text.h"
 #include "src/runner/experiment_spec.h"
 #include "src/runner/result_sink.h"
@@ -41,10 +56,59 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mobisim_sweep [--spec FILE] [key=value ...] [--jobs N] [--serial]\n"
                "                     [--jsonl FILE|-] [--csv FILE|-] [--list] [--quiet]\n"
+               "                     [--shard K/N] [--db DIR --name NAME [--sha SHA]]\n"
                "sweep keys: devices workloads utilizations dram_sizes sram_sizes\n"
-               "            cleaning_policies seeds scale  (comma-separated lists)\n"
+               "            cleaning_policies seeds scale replicas  (comma lists)\n"
                "plus any base-config key from src/core/config_text.h\n");
   return 2;
+}
+
+// ISO-8601 UTC, second resolution; stable format for metadata headers.
+std::string NowUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+std::string HostName() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+  const char* env = std::getenv("HOSTNAME");
+  return env != nullptr ? env : "unknown";
+}
+
+std::string DefaultSha() {
+  for (const char* var : {"GITHUB_SHA", "MOBISIM_GIT_SHA"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && value[0] != '\0') {
+      return value;
+    }
+  }
+  return "local";
+}
+
+bool ParseShard(const std::string& text, std::size_t* shard, std::size_t* shards) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    return false;
+  }
+  try {
+    const unsigned long long k = std::stoull(text.substr(0, slash));
+    const unsigned long long n = std::stoull(text.substr(slash + 1));
+    if (n == 0 || k >= n) {
+      return false;
+    }
+    *shard = static_cast<std::size_t>(k);
+    *shards = static_cast<std::size_t>(n);
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 // "-" means stdout; otherwise open the file for writing.
@@ -67,6 +131,11 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;  // 0 = all cores
   std::string jsonl_path;
   std::string csv_path;
+  std::string db_root;
+  std::string db_name;
+  std::string git_sha = DefaultSha();
+  std::size_t shard = 0;
+  std::size_t shards = 1;
   bool list_only = false;
   bool quiet = false;
 
@@ -111,6 +180,25 @@ int main(int argc, char** argv) {
         return Usage();
       }
       csv_path = args[++i];
+    } else if (args[i] == "--db") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      db_root = args[++i];
+    } else if (args[i] == "--name") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      db_name = args[++i];
+    } else if (args[i] == "--sha") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      git_sha = args[++i];
+    } else if (args[i] == "--shard") {
+      if (i + 1 >= args.size() || !ParseShard(args[++i], &shard, &shards)) {
+        return Usage();
+      }
     } else if (args[i] == "--list") {
       list_only = true;
     } else if (args[i] == "--quiet") {
@@ -131,9 +219,29 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::vector<ExperimentPoint> points = EnumerateGrid(spec);
+  if (!db_root.empty() && db_name.empty()) {
+    std::fprintf(stderr, "error: --db requires --name\n");
+    return Usage();
+  }
+
+  std::vector<ExperimentPoint> points = EnumerateGrid(spec);
+  if (shards > 1) {
+    // Keep global indices: shards from different machines merge by
+    // concatenation and still join by point index.
+    std::vector<ExperimentPoint> mine;
+    for (ExperimentPoint& point : points) {
+      if (point.index % shards == shard) {
+        mine.push_back(std::move(point));
+      }
+    }
+    points = std::move(mine);
+  }
   if (!quiet) {
     std::fprintf(stderr, "mobisim_sweep: %s\n", DescribeSpec(spec).c_str());
+    if (shards > 1) {
+      std::fprintf(stderr, "mobisim_sweep: shard %zu/%zu -> %zu points\n", shard,
+                   shards, points.size());
+    }
   }
   if (list_only) {
     for (const ExperimentPoint& point : points) {
@@ -143,6 +251,14 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+
+  RunMeta meta;
+  meta.spec_name = db_name.empty() ? "sweep" : db_name;
+  meta.spec_hash = SpecFingerprint(spec);
+  meta.git_sha = git_sha;
+  meta.created = NowUtc();
+  meta.host = HostName();
+  meta.points = points.size();
 
   std::ofstream jsonl_file;
   std::ofstream csv_file;
@@ -156,6 +272,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     jsonl_sink = std::make_unique<JsonlResultSink>(*out);
+    // Metadata header first: identifies the run and fingerprints the spec so
+    // benchdiff can verify it is comparing like with like.
+    jsonl_sink->Write(MetaToRow(meta));
     options.sinks.push_back(jsonl_sink.get());
   }
   if (!csv_path.empty()) {
@@ -163,12 +282,13 @@ int main(int argc, char** argv) {
     if (out == nullptr) {
       return 1;
     }
-    csv_sink = std::make_unique<CsvResultSink>(*out);
+    csv_sink = std::make_unique<CsvResultSink>(*out, SweepCsvHeader());
     options.sinks.push_back(csv_sink.get());
   }
-  // With no explicit sink, CSV goes to stdout so the tool is useful bare.
-  if (options.sinks.empty()) {
-    csv_sink = std::make_unique<CsvResultSink>(std::cout);
+  // With no explicit sink, CSV goes to stdout so the tool is useful bare
+  // (unless --db already captures the run).
+  if (options.sinks.empty() && db_root.empty()) {
+    csv_sink = std::make_unique<CsvResultSink>(std::cout, SweepCsvHeader());
     options.sinks.push_back(csv_sink.get());
   }
   if (!quiet) {
@@ -176,6 +296,25 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<SweepOutcome> outcomes = RunSweep(points, options);
+
+  if (!db_root.empty()) {
+    std::vector<ResultRow> rows;
+    rows.reserve(outcomes.size());
+    for (const SweepOutcome& outcome : outcomes) {
+      rows.push_back(outcome.row);
+    }
+    BenchDb db(db_root);
+    std::string error;
+    const auto stored = db.StoreRun(meta, rows, &error);
+    if (!stored) {
+      std::fprintf(stderr, "error storing run: %s\n", error.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::fprintf(stderr, "mobisim_sweep: stored %s (spec hash %s)\n",
+                   stored->c_str(), meta.spec_hash.c_str());
+    }
+  }
 
   if (!quiet) {
     // Compact human summary: one line per point on stderr-adjacent stdout

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchdiff baseline (bench_db/baseline/) from the
+# pinned CI reference spec.
+#
+# Before blessing anything, the script verifies the engine's determinism
+# contract on this machine: the reference sweep must produce byte-identical
+# data rows at several --jobs values.  A baseline that depends on thread
+# count would make the CI gate flaky, so a mismatch aborts the refresh.
+#
+# Usage: scripts/update_baseline.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC=specs/ci_reference.spec
+NAME=ci_reference
+BUILD=${1:-build}
+SWEEP=$BUILD/examples/mobisim_sweep
+DIFF=$BUILD/examples/mobisim_benchdiff
+
+if [ ! -x "$SWEEP" ] || [ ! -x "$DIFF" ]; then
+  cmake -B "$BUILD" -S .
+  cmake --build "$BUILD" -j "$(nproc)" --target mobisim_sweep mobisim_benchdiff
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "update_baseline: checking determinism across --jobs values"
+for jobs in 1 3 "$(nproc)"; do
+  "$SWEEP" --spec "$SPEC" --jobs "$jobs" --jsonl "$tmp/jobs$jobs.jsonl" --quiet
+  # Strip the metadata header: it carries the timestamp and hostname, which
+  # legitimately differ between runs.  Every data row must match exactly.
+  grep -v '"_meta"' "$tmp/jobs$jobs.jsonl" > "$tmp/jobs$jobs.data"
+done
+for jobs in 3 "$(nproc)"; do
+  if ! cmp -s "$tmp/jobs1.data" "$tmp/jobs$jobs.data"; then
+    echo "update_baseline: --jobs 1 and --jobs $jobs disagree; refusing to" \
+         "bless a nondeterministic baseline" >&2
+    exit 1
+  fi
+done
+
+# Rebuild the store from scratch so the manifest holds exactly one entry for
+# the blessed run (StoreRun appends; stale entries would accumulate).
+rm -rf bench_db
+"$SWEEP" --spec "$SPEC" --db bench_db --name "$NAME" --sha baseline --quiet
+"$DIFF" --verify-db bench_db --quiet
+
+# Sanity: the fresh baseline must gate itself clean.
+"$DIFF" --base "bench_db/baseline/$NAME.jsonl" \
+        --cand "bench_db/baseline/$NAME.jsonl" --quiet
+
+echo "update_baseline: bench_db/baseline/$NAME.jsonl refreshed; commit bench_db/"

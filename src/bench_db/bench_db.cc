@@ -1,0 +1,203 @@
+#include "src/bench_db/bench_db.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mobisim {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+// SHA and spec name become path components; reject anything that could
+// escape the store or collide with the manifest.
+bool SafePathComponent(const std::string& s) {
+  if (s.empty() || s == "." || s == ".." || s == "index") {
+    return false;
+  }
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<StoredRun> LoadRunFile(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  StoredRun run;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::string parse_error;
+    auto row = RowFromJson(line, &parse_error);
+    if (!row) {
+      SetError(error, path + ":" + std::to_string(line_no) + ": " + parse_error);
+      return std::nullopt;
+    }
+    if (IsMetaRow(*row)) {
+      if (line_no != 1) {
+        SetError(error, path + ":" + std::to_string(line_no) +
+                            ": metadata line not at start of file");
+        return std::nullopt;
+      }
+      run.meta = *MetaFromRow(*row);
+      run.has_meta = true;
+      continue;
+    }
+    run.rows.push_back(std::move(*row));
+  }
+  return run;
+}
+
+std::string BenchDb::RunPath(const std::string& git_sha,
+                             const std::string& spec_name) const {
+  return root_ + "/" + git_sha + "/" + spec_name + ".jsonl";
+}
+
+std::optional<std::string> BenchDb::StoreRun(RunMeta meta,
+                                             const std::vector<ResultRow>& rows,
+                                             std::string* error) {
+  if (!SafePathComponent(meta.git_sha)) {
+    SetError(error, "bad git sha '" + meta.git_sha + "' for a store path");
+    return std::nullopt;
+  }
+  if (!SafePathComponent(meta.spec_name)) {
+    SetError(error, "bad spec name '" + meta.spec_name + "' for a store path");
+    return std::nullopt;
+  }
+  meta.points = rows.size();
+
+  const std::string path = RunPath(meta.git_sha, meta.spec_name);
+  std::error_code ec;
+  std::filesystem::create_directories(root_ + "/" + meta.git_sha, ec);
+  if (ec) {
+    SetError(error, "cannot create " + root_ + "/" + meta.git_sha + ": " + ec.message());
+    return std::nullopt;
+  }
+
+  {
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      SetError(error, "cannot write " + path);
+      return std::nullopt;
+    }
+    out << RowToJson(MetaToRow(meta)) << "\n";
+    for (const ResultRow& row : rows) {
+      out << RowToJson(row) << "\n";
+    }
+    if (!out) {
+      SetError(error, "write failed for " + path);
+      return std::nullopt;
+    }
+  }
+
+  std::ofstream index(root_ + "/index.jsonl", std::ios::app);
+  if (!index) {
+    SetError(error, "cannot append to " + root_ + "/index.jsonl");
+    return std::nullopt;
+  }
+  index << RowToJson(MetaToRow(meta)) << "\n";
+  if (!index) {
+    SetError(error, "write failed for " + root_ + "/index.jsonl");
+    return std::nullopt;
+  }
+  return path;
+}
+
+std::vector<RunMeta> BenchDb::ReadIndex(std::string* error) const {
+  std::vector<RunMeta> entries;
+  std::ifstream in(root_ + "/index.jsonl");
+  if (!in) {
+    return entries;  // no index yet: an empty store, not an error
+  }
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::string parse_error;
+    const auto row = RowFromJson(line, &parse_error);
+    if (!row || !IsMetaRow(*row)) {
+      SetError(error, root_ + "/index.jsonl:" + std::to_string(line_no) +
+                          ": not a metadata line" +
+                          (parse_error.empty() ? "" : " (" + parse_error + ")"));
+      continue;
+    }
+    entries.push_back(*MetaFromRow(*row));
+  }
+  return entries;
+}
+
+std::optional<RunMeta> BenchDb::FindLatest(const std::string& spec_name,
+                                           const std::string& exclude_sha) const {
+  const std::vector<RunMeta> entries = ReadIndex(nullptr);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (it->spec_name == spec_name &&
+        (exclude_sha.empty() || it->git_sha != exclude_sha)) {
+      return *it;
+    }
+  }
+  return std::nullopt;
+}
+
+bool BenchDb::Verify(std::string* error) const {
+  std::string index_error;
+  const std::vector<RunMeta> entries = ReadIndex(&index_error);
+  if (!index_error.empty()) {
+    SetError(error, index_error);
+    return false;
+  }
+  for (const RunMeta& entry : entries) {
+    const std::string path = RunPath(entry.git_sha, entry.spec_name);
+    std::string load_error;
+    const auto run = LoadRunFile(path, &load_error);
+    if (!run) {
+      SetError(error, "manifest entry " + entry.git_sha + "/" + entry.spec_name +
+                          ": " + load_error);
+      return false;
+    }
+    if (!run->has_meta) {
+      SetError(error, path + ": missing metadata header");
+      return false;
+    }
+    if (run->meta.git_sha != entry.git_sha || run->meta.spec_name != entry.spec_name ||
+        run->meta.spec_hash != entry.spec_hash) {
+      SetError(error, path + ": header disagrees with manifest (header " +
+                          run->meta.git_sha + "/" + run->meta.spec_name + " hash " +
+                          run->meta.spec_hash + ", manifest " + entry.git_sha + "/" +
+                          entry.spec_name + " hash " + entry.spec_hash + ")");
+      return false;
+    }
+    if (run->rows.size() != entry.points || run->meta.points != entry.points) {
+      std::ostringstream message;
+      message << path << ": point count mismatch (file has " << run->rows.size()
+              << " rows, header says " << run->meta.points << ", manifest says "
+              << entry.points << ")";
+      SetError(error, message.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mobisim

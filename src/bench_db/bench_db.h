@@ -1,0 +1,73 @@
+// Per-commit result store for sweep matrices.
+//
+// Layout, deliberately flat files so runs diff with standard tools and store
+// merges are file copies:
+//
+//   <root>/index.jsonl                 manifest: one metadata line per run
+//   <root>/<git-sha>/<spec>.jsonl      metadata header line + one row/point
+//
+// A run is a sweep's JSONL matrix plus its RunMeta (git SHA, spec name, spec
+// fingerprint, date, host).  The manifest duplicates each run's metadata so
+// tooling can enumerate the store without opening every file; Verify()
+// cross-checks the two and the per-file point counts, catching truncated or
+// hand-edited files.
+#ifndef MOBISIM_SRC_BENCH_DB_BENCH_DB_H_
+#define MOBISIM_SRC_BENCH_DB_BENCH_DB_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/result_io.h"
+
+namespace mobisim {
+
+// One run read back from disk.  `has_meta` is false for bare JSONL written
+// without a header (e.g. mobisim_sweep --jsonl before this store existed);
+// such files still diff, but spec compatibility cannot be verified.
+struct StoredRun {
+  RunMeta meta;
+  bool has_meta = false;
+  std::vector<ResultRow> rows;  // data rows only, in point order
+};
+
+// Parses a JSONL run file: an optional leading metadata line, then data rows.
+// Metadata lines after the first line are rejected as malformed.
+std::optional<StoredRun> LoadRunFile(const std::string& path, std::string* error);
+
+class BenchDb {
+ public:
+  explicit BenchDb(std::string root) : root_(std::move(root)) {}
+
+  const std::string& root() const { return root_; }
+
+  // Path a run with this identity lands at (whether or not it exists yet).
+  std::string RunPath(const std::string& git_sha, const std::string& spec_name) const;
+
+  // Writes <root>/<meta.git_sha>/<meta.spec_name>.jsonl — metadata header
+  // first, then `rows` — creating directories as needed, and appends the
+  // manifest line.  meta.points is forced to rows.size().  Returns the file
+  // path, or nullopt with `error` set.
+  std::optional<std::string> StoreRun(RunMeta meta, const std::vector<ResultRow>& rows,
+                                      std::string* error);
+
+  // All manifest entries, oldest first.  Missing index file -> empty store.
+  std::vector<RunMeta> ReadIndex(std::string* error) const;
+
+  // Most recent manifest entry for `spec_name`, optionally skipping one SHA
+  // (a PR diffing against the store excludes its own candidate run).
+  std::optional<RunMeta> FindLatest(const std::string& spec_name,
+                                    const std::string& exclude_sha = "") const;
+
+  // Integrity check over the whole store: every manifest entry's file exists,
+  // its header matches the manifest (sha, spec name, spec hash), and the data
+  // row count matches `points`.  Returns false with the first mismatch.
+  bool Verify(std::string* error) const;
+
+ private:
+  std::string root_;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_BENCH_DB_BENCH_DB_H_

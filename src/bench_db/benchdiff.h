@@ -1,0 +1,110 @@
+// Regression diffing of two sweep runs of the same spec.
+//
+// Runs are joined by stable point index (the sweep engine's enumeration
+// order), per-metric deltas are computed for every point, and each delta is
+// classified against a noise band:
+//
+//   pass         base and candidate agree to <= min_rel_floor
+//   noise        |delta| within the band
+//   regression   worse than the band allows (all tracked metrics are
+//                lower-is-better: energy, latency, erases, stalls)
+//   improvement  better than the band allows
+//
+// The band is estimated from seed-replicated points when the spec carried
+// `replicas > 1`: rows are grouped by their full configuration minus
+// seed/replica, and the observed max-min spread within a point's group —
+// what seed choice alone does to the metric — times `noise_mult` is the
+// band.  Without replicas the band falls back to `rel_threshold * |base|`.
+// Either way, drift below `min_rel_floor * |base|` is always tolerated
+// (cross-compiler floating-point slack).
+#ifndef MOBISIM_SRC_BENCH_DB_BENCHDIFF_H_
+#define MOBISIM_SRC_BENCH_DB_BENCHDIFF_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/bench_db/bench_db.h"
+
+namespace mobisim {
+
+enum class DiffClass { kPass, kNoise, kRegression, kImprovement };
+
+const char* DiffClassName(DiffClass cls);
+
+// Verdict for one (point, metric) cell.
+struct MetricDiff {
+  std::size_t point = 0;
+  std::string metric;
+  double base = 0.0;
+  double cand = 0.0;
+  double delta = 0.0;     // cand - base
+  double rel = 0.0;       // delta / max(|base|, eps)
+  double allowed = 0.0;   // absolute band the delta was judged against
+  bool from_replicas = false;  // band from replica spread vs fallback threshold
+  DiffClass cls = DiffClass::kPass;
+};
+
+// Aggregation of one metric across all joined points.
+struct MetricSummary {
+  std::string metric;
+  std::size_t pass = 0;
+  std::size_t noise = 0;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  // Largest |rel| among regressions (or, with none, among all cells).
+  double worst_rel = 0.0;
+  std::size_t worst_point = 0;
+};
+
+struct DiffOptions {
+  // Metrics to compare; empty selects DefaultDiffMetrics().  Metrics absent
+  // from either run are skipped (recorded in DiffReport::skipped_metrics).
+  std::vector<std::string> metrics;
+  // Fallback relative band when a point has no replica group (spread of a
+  // single sample is unknowable).
+  double rel_threshold = 0.05;
+  // Safety multiplier on the observed replica spread.
+  double noise_mult = 1.5;
+  // Relative drift always tolerated, replicas or not.
+  double min_rel_floor = 0.01;
+  // Refuse to diff runs whose metadata carries different spec fingerprints.
+  bool require_same_spec = true;
+};
+
+struct DiffReport {
+  // False when the runs cannot be meaningfully compared (different spec
+  // hashes, mismatched point sets); `incomparable_reason` says why and no
+  // cells are classified.
+  bool comparable = true;
+  std::string incomparable_reason;
+
+  std::string base_label;
+  std::string cand_label;
+  std::string spec_name;
+  std::size_t points = 0;         // joined points
+  bool noise_from_replicas = false;  // any band came from replica spread
+
+  std::vector<MetricSummary> summaries;       // one per compared metric
+  std::vector<MetricDiff> flagged;            // regressions + improvements
+  std::vector<std::string> skipped_metrics;   // requested but absent
+
+  bool HasRegressions() const;
+  std::size_t RegressionCount() const;
+};
+
+// Energy breakdown, latency stats and percentiles, endurance and stall
+// counters — the quantities the paper's conclusions rest on.
+const std::vector<std::string>& DefaultDiffMetrics();
+
+DiffReport DiffRuns(const StoredRun& base, const StoredRun& cand,
+                    const DiffOptions& options);
+
+// Plain-text report (for terminals and logs).
+std::string RenderReportText(const DiffReport& report);
+// GitHub-flavoured Markdown (for $GITHUB_STEP_SUMMARY).
+std::string RenderReportMarkdown(const DiffReport& report);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_BENCH_DB_BENCHDIFF_H_

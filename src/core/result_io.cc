@@ -399,6 +399,36 @@ ResultRow ResultToRow(const SimResult& result) {
   return row;
 }
 
+bool IsMetaRow(const ResultRow& row) {
+  return !row.fields.empty() && row.fields.front().key == "_meta";
+}
+
+ResultRow MetaToRow(const RunMeta& meta) {
+  ResultRow row;
+  row.AddInt("_meta", 1);
+  row.AddText("spec_name", meta.spec_name);
+  row.AddText("spec_hash", meta.spec_hash);
+  row.AddText("git_sha", meta.git_sha);
+  row.AddText("created", meta.created);
+  row.AddText("host", meta.host);
+  row.AddInt("points", meta.points);
+  return row;
+}
+
+std::optional<RunMeta> MetaFromRow(const ResultRow& row) {
+  if (!IsMetaRow(row)) {
+    return std::nullopt;
+  }
+  RunMeta meta;
+  meta.spec_name = row.Text("spec_name");
+  meta.spec_hash = row.Text("spec_hash");
+  meta.git_sha = row.Text("git_sha");
+  meta.created = row.Text("created");
+  meta.host = row.Text("host");
+  meta.points = static_cast<std::uint64_t>(row.Number("points", 0));
+  return meta;
+}
+
 std::string RowToJson(const ResultRow& row) {
   std::string out = "{";
   bool first = true;

@@ -43,6 +43,28 @@ struct ResultRow {
 // seconds (as mode_<name>_sec).
 ResultRow ResultToRow(const SimResult& result);
 
+// --- Run metadata (JSONL header line) ---
+//
+// A stored run may begin with one metadata line: a JSON object whose first
+// key is "_meta".  It identifies the run (git SHA, spec name), fingerprints
+// the spec that produced it (so a diff harness can refuse to compare
+// incompatible matrices), and records provenance (date, host).  Data readers
+// skip it; it never appears in CSV output.
+struct RunMeta {
+  std::string spec_name;  // logical name, e.g. "ci_reference"
+  std::string spec_hash;  // SpecFingerprint() of the producing spec
+  std::string git_sha;    // commit the binary was built from ("local" if unknown)
+  std::string created;    // ISO-8601 UTC timestamp
+  std::string host;       // machine that ran the sweep
+  std::uint64_t points = 0;  // data rows that follow
+};
+
+// True when the row is a metadata header (first field is "_meta").
+bool IsMetaRow(const ResultRow& row);
+ResultRow MetaToRow(const RunMeta& meta);
+// Returns nullopt when `row` is not a metadata header.
+std::optional<RunMeta> MetaFromRow(const ResultRow& row);
+
 // --- JSON (one flat object per row) ---
 std::string RowToJson(const ResultRow& row);
 // Parses a flat JSON object with string/number/bool/null values.  Returns

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 
 #include "src/core/config_text.h"
+#include "src/util/hash.h"
 
 namespace mobisim {
 
@@ -74,12 +76,33 @@ std::size_t DimSize(const std::vector<T>& dim) {
   return dim.empty() ? 1 : dim.size();
 }
 
+// Round-trip-exact double rendering, matching ResultRow::AddNumber, so the
+// canonical text (and thus the fingerprint) is insensitive to how the value
+// was originally spelled but sensitive to any actual change.
+std::string CanonNumber(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
 }  // namespace
+
+std::uint64_t ReplicaSeed(std::uint64_t seed, std::size_t replica) {
+  if (replica == 0) {
+    return seed;
+  }
+  // splitmix64 of (seed, replica): well-distributed, platform-stable.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(replica);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 std::size_t GridSize(const ExperimentSpec& spec) {
   return DimSize(spec.devices) * DimSize(spec.workloads) * DimSize(spec.utilizations) *
          DimSize(spec.dram_sizes) * DimSize(spec.sram_sizes) *
-         DimSize(spec.cleaning_policies) * DimSize(spec.seeds);
+         DimSize(spec.cleaning_policies) * DimSize(spec.seeds) *
+         (spec.replicas == 0 ? 1 : spec.replicas);
 }
 
 std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
@@ -103,6 +126,7 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
           : spec.cleaning_policies;
   const std::vector<std::uint64_t> seeds =
       spec.seeds.empty() ? std::vector<std::uint64_t>{1} : spec.seeds;
+  const std::size_t replicas = spec.replicas == 0 ? 1 : spec.replicas;
 
   std::vector<ExperimentPoint> points;
   points.reserve(GridSize(spec));
@@ -113,18 +137,21 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
           for (const std::uint64_t sram : sram_sizes) {
             for (const CleaningPolicy policy : policies) {
               for (const std::uint64_t seed : seeds) {
-                ExperimentPoint point;
-                point.index = points.size();
-                point.workload = workload;
-                point.scale = spec.scale;
-                point.seed = seed;
-                point.config = spec.base;
-                point.config.device = device;
-                point.config.flash_utilization = utilization;
-                point.config.dram_bytes = dram;
-                point.config.sram_bytes = sram;
-                point.config.cleaning_policy = policy;
-                points.push_back(std::move(point));
+                for (std::size_t replica = 0; replica < replicas; ++replica) {
+                  ExperimentPoint point;
+                  point.index = points.size();
+                  point.workload = workload;
+                  point.scale = spec.scale;
+                  point.seed = ReplicaSeed(seed, replica);
+                  point.replica = replica;
+                  point.config = spec.base;
+                  point.config.device = device;
+                  point.config.flash_utilization = utilization;
+                  point.config.dram_bytes = dram;
+                  point.config.sram_bytes = sram;
+                  point.config.cleaning_policy = policy;
+                  points.push_back(std::move(point));
+                }
               }
             }
           }
@@ -215,6 +242,15 @@ bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
     }
     return true;
   }
+  if (key == "replicas") {
+    const auto n = ParseU64(value);
+    if (!n || *n == 0 || *n > 1000) {
+      SetError(error, "bad replicas '" + value + "' (want integer in [1, 1000])");
+      return false;
+    }
+    spec->replicas = static_cast<std::size_t>(*n);
+    return true;
+  }
   if (key == "scale") {
     try {
       std::size_t consumed = 0;
@@ -271,9 +307,114 @@ std::string DescribeSpec(const ExperimentSpec& spec) {
       << " workloads x " << DimSize(spec.utilizations) << " utilizations x "
       << DimSize(spec.dram_sizes) << " dram x " << DimSize(spec.sram_sizes)
       << " sram x " << DimSize(spec.cleaning_policies) << " policies x "
-      << DimSize(spec.seeds) << " seeds = " << GridSize(spec) << " points (scale "
-      << spec.scale << ")";
+      << DimSize(spec.seeds) << " seeds";
+  if (spec.replicas > 1) {
+    out << " x " << spec.replicas << " replicas";
+  }
+  out << " = " << GridSize(spec) << " points (scale " << spec.scale << ")";
   return out.str();
+}
+
+namespace {
+
+void AppendDeviceFields(std::ostringstream& out, const std::string& prefix,
+                        const DeviceSpec& d) {
+  out << prefix << ".name = " << d.name << "\n"
+      << prefix << ".kind = " << static_cast<int>(d.kind) << "\n"
+      << prefix << ".read_overhead_ms = " << CanonNumber(d.read_overhead_ms) << "\n"
+      << prefix << ".write_overhead_ms = " << CanonNumber(d.write_overhead_ms) << "\n"
+      << prefix << ".sequential_overhead_ms = " << CanonNumber(d.sequential_overhead_ms)
+      << "\n"
+      << prefix << ".read_kbps = " << CanonNumber(d.read_kbps) << "\n"
+      << prefix << ".write_kbps = " << CanonNumber(d.write_kbps) << "\n"
+      << prefix << ".internal_read_kbps = " << CanonNumber(d.internal_read_kbps) << "\n"
+      << prefix << ".internal_write_kbps = " << CanonNumber(d.internal_write_kbps)
+      << "\n"
+      << prefix << ".spinup_ms = " << CanonNumber(d.spinup_ms) << "\n"
+      << prefix << ".erase_segment_bytes = " << d.erase_segment_bytes << "\n"
+      << prefix << ".erase_ms_per_segment = " << CanonNumber(d.erase_ms_per_segment)
+      << "\n"
+      << prefix << ".erase_kbps = " << CanonNumber(d.erase_kbps) << "\n"
+      << prefix << ".pre_erased_write_kbps = " << CanonNumber(d.pre_erased_write_kbps)
+      << "\n"
+      << prefix << ".endurance_cycles = " << d.endurance_cycles << "\n"
+      << prefix << ".read_w = " << CanonNumber(d.read_w) << "\n"
+      << prefix << ".write_w = " << CanonNumber(d.write_w) << "\n"
+      << prefix << ".erase_w = " << CanonNumber(d.erase_w) << "\n"
+      << prefix << ".idle_w = " << CanonNumber(d.idle_w) << "\n"
+      << prefix << ".sleep_w = " << CanonNumber(d.sleep_w) << "\n"
+      << prefix << ".spinup_w = " << CanonNumber(d.spinup_w) << "\n";
+}
+
+}  // namespace
+
+std::string CanonicalSpecText(const ExperimentSpec& spec) {
+  std::ostringstream out;
+
+  out << "devices =";
+  for (const DeviceSpec& d : spec.devices) {
+    out << " " << d.name;
+  }
+  out << "\n";
+  out << "workloads =";
+  for (const std::string& w : spec.workloads) {
+    out << " " << w;
+  }
+  out << "\n";
+  out << "utilizations =";
+  for (const double u : spec.utilizations) {
+    out << " " << CanonNumber(u);
+  }
+  out << "\n";
+  out << "dram_sizes =";
+  for (const std::uint64_t b : spec.dram_sizes) {
+    out << " " << b;
+  }
+  out << "\n";
+  out << "sram_sizes =";
+  for (const std::uint64_t b : spec.sram_sizes) {
+    out << " " << b;
+  }
+  out << "\n";
+  out << "cleaning_policies =";
+  for (const CleaningPolicy p : spec.cleaning_policies) {
+    out << " " << CleaningPolicyName(p);
+  }
+  out << "\n";
+  out << "seeds =";
+  for (const std::uint64_t s : spec.seeds) {
+    out << " " << s;
+  }
+  out << "\n";
+  out << "scale = " << CanonNumber(spec.scale) << "\n";
+  out << "replicas = " << spec.replicas << "\n";
+
+  const SimConfig& c = spec.base;
+  AppendDeviceFields(out, "base.device", c.device);
+  out << "base.dram = " << c.dram.name << "\n"
+      << "base.dram_bytes = " << c.dram_bytes << "\n"
+      << "base.sram = " << c.sram.name << "\n"
+      << "base.sram_bytes = " << c.sram_bytes << "\n"
+      << "base.capacity_bytes = " << c.capacity_bytes << "\n"
+      << "base.auto_capacity = " << (c.auto_capacity ? 1 : 0) << "\n"
+      << "base.flash_utilization = " << CanonNumber(c.flash_utilization) << "\n"
+      << "base.interleave_prefill = " << (c.interleave_prefill ? 1 : 0) << "\n"
+      << "base.spin_down_after_us = " << c.spin_down_after_us << "\n"
+      << "base.spin_down_policy = " << static_cast<int>(c.spin_down_policy) << "\n"
+      << "base.use_disk_geometry = " << (c.use_disk_geometry ? 1 : 0) << "\n"
+      << "base.background_cleaning = " << (c.background_cleaning ? 1 : 0) << "\n"
+      << "base.cleaning_policy = " << CleaningPolicyName(c.cleaning_policy) << "\n"
+      << "base.separate_cleaning_segment = " << (c.separate_cleaning_segment ? 1 : 0)
+      << "\n"
+      << "base.flash_async_erasure = " << (c.flash_async_erasure ? 1 : 0) << "\n"
+      << "base.warm_fraction = " << CanonNumber(c.warm_fraction) << "\n"
+      << "base.write_back_cache = " << (c.write_back_cache ? 1 : 0) << "\n"
+      << "base.cache_sync_interval_us = " << c.cache_sync_interval_us << "\n";
+  return out.str();
+}
+
+std::string SpecFingerprint(const ExperimentSpec& spec) {
+  return HexU64(Fnv1a64(CanonicalSpecText(spec)));
 }
 
 }  // namespace mobisim

@@ -14,7 +14,13 @@
 //   cleaning_policies  greedy | cost-benefit | wear-aware
 //   seeds              workload generator seeds (integers)
 //   scale              workload scale factor (single value, not swept)
+//   replicas           independent re-runs per point (seed-derived; default 1)
 // An omitted dimension sweeps nothing: the base config's value is used.
+//
+// `replicas = N` re-runs every grid cell N times with derived seeds
+// (ReplicaSeed below), innermost in the enumeration.  Replicated points are
+// how regression tracking estimates the noise floor: the spread across
+// replicas of the same cell is what seed choice alone does to each metric.
 #ifndef MOBISIM_SRC_RUNNER_EXPERIMENT_SPEC_H_
 #define MOBISIM_SRC_RUNNER_EXPERIMENT_SPEC_H_
 
@@ -38,17 +44,25 @@ struct ExperimentSpec {
   std::vector<CleaningPolicy> cleaning_policies;
   std::vector<std::uint64_t> seeds;
   double scale = 1.0;
+  std::size_t replicas = 1;
 };
 
 // One cell of the grid: a fully resolved configuration plus the workload to
-// generate.  `index` is the position in enumeration order.
+// generate.  `index` is the position in enumeration order; `replica` is the
+// re-run number within the cell (0 for the base seed).
 struct ExperimentPoint {
   std::size_t index = 0;
   std::string workload = "synth";
   double scale = 1.0;
   std::uint64_t seed = 1;
+  std::size_t replica = 0;
   SimConfig config;
 };
+
+// Workload seed for replica k of a cell whose listed seed is `seed`.
+// Replica 0 keeps the listed seed (so `replicas = 1` leaves grids unchanged);
+// later replicas use a splitmix64-style derivation, stable across platforms.
+std::uint64_t ReplicaSeed(std::uint64_t seed, std::size_t replica);
 
 // Number of points the spec enumerates (empty dimensions count as 1).
 std::size_t GridSize(const ExperimentSpec& spec);
@@ -69,6 +83,19 @@ std::optional<ExperimentSpec> ParseExperimentSpec(const std::string& text,
 
 // One-line summary ("2 devices x 3 workloads x 6 utilizations = 36 points").
 std::string DescribeSpec(const ExperimentSpec& spec);
+
+// Canonical full-fidelity rendering of the spec: every sweep dimension and
+// every base-config field, one `key = value` line each, in a fixed order with
+// fixed number formatting.  Two spec files that parse to the same grid (e.g.
+// the same lines reordered, extra comments, different whitespace) produce the
+// same canonical text; any change to the grid or the base configuration
+// changes it.
+std::string CanonicalSpecText(const ExperimentSpec& spec);
+
+// 16-hex-digit FNV-1a fingerprint of CanonicalSpecText.  Persisted in result
+// metadata headers so regression diffs can verify both runs executed the same
+// experiment.
+std::string SpecFingerprint(const ExperimentSpec& spec);
 
 }  // namespace mobisim
 

@@ -20,6 +20,13 @@ void CsvResultSink::Write(const ResultRow& row) {
   out_ << RowToCsvLine(row) << "\n";
 }
 
-void CsvResultSink::Finish() { out_.flush(); }
+void CsvResultSink::Finish() {
+  if (!wrote_header_ && !default_header_.empty()) {
+    header_ = default_header_;
+    wrote_header_ = true;
+    out_ << header_ << "\n";
+  }
+  out_.flush();
+}
 
 }  // namespace mobisim

@@ -35,14 +35,22 @@ class JsonlResultSink : public ResultSink {
 // same keys in the same order (the sweep runner guarantees this for rows it
 // produces); a mismatch MOBISIM_CHECK-fails rather than writing a corrupt
 // table.
+//
+// `default_header` covers the zero-row case: when no row ever arrives,
+// Finish() emits it so the file is still a well-formed (empty) table and
+// downstream readers never special-case header-less files.  Sweep callers
+// pass SweepCsvHeader(); an empty default keeps the old emit-nothing
+// behaviour.
 class CsvResultSink : public ResultSink {
  public:
-  explicit CsvResultSink(std::ostream& out) : out_(out) {}
+  explicit CsvResultSink(std::ostream& out, std::string default_header = "")
+      : out_(out), default_header_(std::move(default_header)) {}
   void Write(const ResultRow& row) override;
   void Finish() override;
 
  private:
   std::ostream& out_;
+  std::string default_header_;
   std::string header_;
   bool wrote_header_ = false;
 };

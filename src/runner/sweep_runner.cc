@@ -71,6 +71,7 @@ ResultRow PointToRow(const ExperimentPoint& point) {
   row.AddText("workload", point.workload);
   row.AddText("device", point.config.device.name);
   row.AddInt("seed", point.seed);
+  row.AddInt("replica", point.replica);
   row.AddNumber("scale", point.scale);
   row.AddNumber("utilization", point.config.flash_utilization);
   row.AddInt("dram_bytes", point.config.dram_bytes);
@@ -79,6 +80,26 @@ ResultRow PointToRow(const ExperimentPoint& point) {
   row.AddInt("auto_capacity", point.config.auto_capacity ? 1 : 0);
   row.AddText("cleaning_policy", CleaningPolicyName(point.config.cleaning_policy));
   return row;
+}
+
+ResultRow MergePointAndResult(const ExperimentPoint& point, const SimResult& result) {
+  ResultRow row = PointToRow(point);
+  ResultRow result_row = ResultToRow(result);
+  for (ResultField& field : result_row.fields) {
+    if (row.Find(field.key) == nullptr) {
+      row.fields.push_back(std::move(field));
+    }
+  }
+  return row;
+}
+
+std::string SweepCsvHeader() {
+  // The schema depends only on field *names*, never on data, so a
+  // default-constructed point and result enumerate exactly the columns a
+  // real sweep row carries.
+  const ExperimentPoint point;
+  const SimResult result;
+  return RowToCsvHeader(MergePointAndResult(point, result));
 }
 
 std::vector<SweepOutcome> RunSweep(const std::vector<ExperimentPoint>& points,
@@ -115,13 +136,7 @@ std::vector<SweepOutcome> RunSweep(const std::vector<ExperimentPoint>& points,
     SweepOutcome& outcome = outcomes[i];
     outcome.point = point;
     outcome.result = RunSimulation(*trace, point.config);
-    outcome.row = PointToRow(point);
-    ResultRow result_row = ResultToRow(outcome.result);
-    for (ResultField& field : result_row.fields) {
-      if (outcome.row.Find(field.key) == nullptr) {
-        outcome.row.fields.push_back(std::move(field));
-      }
-    }
+    outcome.row = MergePointAndResult(point, outcome.result);
 
     meter.Advance();
     std::lock_guard<std::mutex> lock(emit_mu);

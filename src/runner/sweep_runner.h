@@ -37,9 +37,19 @@ struct SweepOutcome {
   ResultRow row;
 };
 
-// Metadata columns (point, workload, seed, scale, device, utilization, sizes,
-// cleaning policy) prepended to every exported row.
+// Metadata columns (point, workload, seed, replica, scale, device,
+// utilization, sizes, cleaning policy) prepended to every exported row.
 ResultRow PointToRow(const ExperimentPoint& point);
+
+// The full export schema: PointToRow columns followed by the ResultToRow
+// fields not already present.  This is exactly what sinks receive for every
+// point, so sweep rows always share one schema.
+ResultRow MergePointAndResult(const ExperimentPoint& point, const SimResult& result);
+
+// CSV header of the sweep export schema.  The schema is fixed (it does not
+// depend on the data), so an empty sweep can still emit a valid header —
+// pass this as CsvResultSink's default header.
+std::string SweepCsvHeader();
 
 // Runs the points and returns outcomes indexed by point order.  Honours the
 // paper's hp methodology (the hp trace is simulated without a DRAM cache,

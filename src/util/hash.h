@@ -1,0 +1,47 @@
+// Small non-cryptographic hashing helpers.
+//
+// Fnv1a64 is the 64-bit FNV-1a hash: stable across platforms and runs (unlike
+// std::hash, which the standard leaves unspecified), so it is safe to persist
+// — spec fingerprints written into result files by one build must compare
+// equal when recomputed by another.
+#ifndef MOBISIM_SRC_UTIL_HASH_H_
+#define MOBISIM_SRC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mobisim {
+
+constexpr std::uint64_t kFnv1a64Offset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ull;
+
+constexpr std::uint64_t Fnv1a64(const char* data, std::size_t size,
+                                std::uint64_t seed = kFnv1a64Offset) {
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnv1a64Prime;
+  }
+  return hash;
+}
+
+inline std::uint64_t Fnv1a64(const std::string& s,
+                             std::uint64_t seed = kFnv1a64Offset) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+// 16 lowercase hex digits, zero-padded; the canonical rendering of a
+// fingerprint in manifests and JSONL metadata headers.
+inline std::string HexU64(std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_HASH_H_
