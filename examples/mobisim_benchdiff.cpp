@@ -74,7 +74,9 @@ bool ParsePositive(const std::string& text, double* out) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int RunMain(int argc, char** argv) {
   std::string base_path;
   std::string cand_path;
   std::string db_root;
@@ -208,4 +210,15 @@ int main(int argc, char** argv) {
     return 3;
   }
   return report.HasRegressions() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return RunMain(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mobisim_benchdiff: fatal: %s\n", e.what());
+    return 1;
+  }
 }

@@ -40,7 +40,9 @@ int Usage() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int RunMain(int argc, char** argv) {
   SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
   std::string workload = "mac";
   std::string trace_path;
@@ -200,4 +202,15 @@ int main(int argc, char** argv) {
   }
   std::printf("device energy: %s\n", result.device_energy_breakdown.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return RunMain(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mobisim_cli: fatal: %s\n", e.what());
+    return 1;
+  }
 }

@@ -58,7 +58,8 @@ int Usage() {
                "                     [--jsonl FILE|-] [--csv FILE|-] [--list] [--quiet]\n"
                "                     [--shard K/N] [--db DIR --name NAME [--sha SHA]]\n"
                "sweep keys: devices workloads utilizations dram_sizes sram_sizes\n"
-               "            cleaning_policies seeds scale replicas  (comma lists)\n"
+               "            cleaning_policies power_loss_intervals seeds scale\n"
+               "            replicas  (comma lists)\n"
                "plus any base-config key from src/core/config_text.h\n");
   return 2;
 }
@@ -126,7 +127,9 @@ std::ostream* OpenSink(const std::string& path, std::ofstream* file) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int RunMain(int argc, char** argv) {
   ExperimentSpec spec;
   std::size_t jobs = 0;  // 0 = all cores
   std::string jsonl_path;
@@ -297,6 +300,17 @@ int main(int argc, char** argv) {
 
   const std::vector<SweepOutcome> outcomes = RunSweep(points, options);
 
+  // Failed points were exported as `_error` rows; surface them here and make
+  // the exit status reflect that the sweep is incomplete.
+  std::size_t failed = 0;
+  for (const SweepOutcome& outcome : outcomes) {
+    if (outcome.failed) {
+      ++failed;
+      std::fprintf(stderr, "mobisim_sweep: point %zu failed: %s\n",
+                   outcome.point.index, outcome.error.c_str());
+    }
+  }
+
   if (!db_root.empty()) {
     std::vector<ResultRow> rows;
     rows.reserve(outcomes.size());
@@ -325,6 +339,9 @@ int main(int argc, char** argv) {
       TablePrinter table({"Point", "Workload", "Device", "Util (%)", "Energy (J)",
                           "Write Mean (ms)", "Erases"});
       for (const SweepOutcome& outcome : outcomes) {
+        if (outcome.failed) {
+          continue;
+        }
         table.BeginRow()
             .Cell(static_cast<std::int64_t>(outcome.point.index))
             .Cell(outcome.point.workload)
@@ -336,9 +353,21 @@ int main(int argc, char** argv) {
       }
       table.Print(std::cout);
     }
-    std::fprintf(stderr, "mobisim_sweep: %zu points done (%zu threads)\n",
+    std::fprintf(stderr, "mobisim_sweep: %zu points done (%zu threads)%s\n",
                  outcomes.size(),
-                 options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads);
+                 options.threads == 0 ? ThreadPool::DefaultThreadCount() : options.threads,
+                 failed > 0 ? ", with failures" : "");
   }
-  return 0;
+  return failed > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return RunMain(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mobisim_sweep: fatal: %s\n", e.what());
+    return 1;
+  }
 }

@@ -41,13 +41,28 @@ for jobs in 3 "$(nproc)"; do
 done
 
 # Rebuild the store from scratch so the manifest holds exactly one entry for
-# the blessed run (StoreRun appends; stale entries would accumulate).
-rm -rf bench_db
-"$SWEEP" --spec "$SPEC" --db bench_db --name "$NAME" --sha baseline --quiet
-"$DIFF" --verify-db bench_db --quiet
+# the blessed run (StoreRun appends; stale entries would accumulate).  The
+# fresh store is staged in a sibling directory on the same filesystem and
+# only swapped in after it verifies, so a failure partway through can never
+# leave a missing or half-written bench_db/ behind.
+stage=$(mktemp -d "$PWD/bench_db.stage.XXXXXX")
+trap 'rm -rf "$tmp" "$stage"' EXIT
+"$SWEEP" --spec "$SPEC" --db "$stage" --name "$NAME" --sha baseline --quiet
+"$DIFF" --verify-db "$stage" --quiet
 
 # Sanity: the fresh baseline must gate itself clean.
-"$DIFF" --base "bench_db/baseline/$NAME.jsonl" \
-        --cand "bench_db/baseline/$NAME.jsonl" --quiet
+"$DIFF" --base "$stage/baseline/$NAME.jsonl" \
+        --cand "$stage/baseline/$NAME.jsonl" --quiet
+
+# Atomic swap: the old store is whole until the verified one replaces it.
+old=
+if [ -d bench_db ]; then
+  old=$(mktemp -d "$PWD/bench_db.old.XXXXXX")
+  mv bench_db "$old/prev"
+fi
+mv "$stage" bench_db
+if [ -n "$old" ]; then
+  rm -rf "$old"
+fi
 
 echo "update_baseline: bench_db/baseline/$NAME.jsonl refreshed; commit bench_db/"

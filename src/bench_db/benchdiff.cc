@@ -17,8 +17,11 @@ constexpr double kEps = 1e-12;
 const char* kGroupColumns[] = {
     "workload",   "device",     "scale",          "utilization",
     "dram_bytes", "sram_bytes", "capacity_bytes", "auto_capacity",
-    "cleaning_policy",
+    "cleaning_policy", "power_loss_interval_sec",
 };
+
+// Rows written for failed sweep points carry only metadata plus `_error`.
+bool IsErrorRow(const ResultRow& row) { return row.Find("_error") != nullptr; }
 
 std::string GroupKey(const ResultRow& row) {
   std::string key;
@@ -155,21 +158,46 @@ DiffReport DiffRuns(const StoredRun& base, const StoredRun& cand,
       return report;
     }
   }
+
+  // A point that failed in either run is incomparable, not a regression:
+  // drop it from every cell and count it as skipped.
+  for (auto it = base_by_point.begin(); it != base_by_point.end();) {
+    const ResultRow* cand_row = cand_by_point.at(it->first);
+    if (IsErrorRow(*it->second) || IsErrorRow(*cand_row)) {
+      cand_by_point.erase(it->first);
+      it = base_by_point.erase(it);
+      ++report.skipped_points;
+    } else {
+      ++it;
+    }
+  }
   report.points = base_by_point.size();
 
   // Replica groups over the base run: point -> group, group -> member rows.
   std::map<std::string, std::vector<const ResultRow*>> groups;
   for (const ResultRow& row : base.rows) {
+    if (IsErrorRow(row)) {
+      continue;
+    }
     groups[GroupKey(row)].push_back(&row);
   }
+
+  // Probe metric presence on a healthy row; error rows carry no metrics.
+  const auto has_metric = [](const std::vector<ResultRow>& rows,
+                             const std::string& metric) {
+    for (const ResultRow& row : rows) {
+      if (!IsErrorRow(row)) {
+        return row.Find(metric) != nullptr;
+      }
+    }
+    return true;  // no healthy rows: nothing to compare, nothing to skip
+  };
 
   const std::vector<std::string>& metrics =
       options.metrics.empty() ? DefaultDiffMetrics() : options.metrics;
   for (const std::string& metric : metrics) {
-    const bool in_base =
-        base.rows.empty() || base.rows.front().Find(metric) != nullptr;
-    const bool in_cand =
-        cand.rows.empty() || cand.rows.front().Find(metric) != nullptr;
+    const bool in_base = has_metric(base.rows, metric);
+    const bool in_cand = has_metric(cand.rows, metric);
     if (!in_base || !in_cand) {
       report.skipped_metrics.push_back(metric);
       continue;
@@ -275,7 +303,12 @@ std::string RenderReportText(const DiffReport& report) {
   out << "  " << report.points << " points joined; noise band "
       << (report.noise_from_replicas ? "from seed-replica spread"
                                      : "from fixed relative threshold")
-      << "\n\n";
+      << "\n";
+  if (report.skipped_points > 0) {
+    out << "  " << report.skipped_points
+        << " failed point(s) skipped (incomparable, not regressions)\n";
+  }
+  out << "\n";
 
   char line[160];
   std::snprintf(line, sizeof(line), "%-22s %5s %5s %5s %5s  %s\n", "metric", "pass",
@@ -325,8 +358,11 @@ std::string RenderReportMarkdown(const DiffReport& report) {
   }
   out << " — " << report.points << " points, noise band "
       << (report.noise_from_replicas ? "from seed-replica spread"
-                                     : "from fixed relative threshold")
-      << "\n\n";
+                                     : "from fixed relative threshold");
+  if (report.skipped_points > 0) {
+    out << ", " << report.skipped_points << " failed point(s) skipped";
+  }
+  out << "\n\n";
 
   out << "| Metric | Pass | Noise | Regressions | Improvements | Worst |\n";
   out << "|---|---:|---:|---:|---:|---:|\n";

@@ -10,6 +10,10 @@
 //                lower-is-better: energy, latency, erases, stalls)
 //   improvement  better than the band allows
 //
+// Failed sweep points (rows carrying an `_error` column) are excluded from
+// every cell on both sides and counted in DiffReport::skipped_points — a
+// point that crashed is incomparable, not a regression.
+//
 // The band is estimated from seed-replicated points when the spec carried
 // `replicas > 1`: rows are grouped by their full configuration minus
 // seed/replica, and the observed max-min spread within a point's group —
@@ -82,7 +86,10 @@ struct DiffReport {
   std::string base_label;
   std::string cand_label;
   std::string spec_name;
-  std::size_t points = 0;         // joined points
+  std::size_t points = 0;         // joined (healthy) points
+  // Points excluded because either run's row carries `_error` (the sweep
+  // point failed there); never classified, never a regression.
+  std::size_t skipped_points = 0;
   bool noise_from_replicas = false;  // any band came from replica spread
 
   std::vector<MetricSummary> summaries;       // one per compared metric

@@ -79,6 +79,12 @@ void BufferCache::InvalidateRange(std::uint64_t lba, std::uint32_t count) {
   }
 }
 
+void BufferCache::Clear() {
+  lru_.clear();
+  index_.clear();
+  dirty_.clear();
+}
+
 void BufferCache::MarkDirty(std::uint64_t lba, std::uint32_t count) {
   if (!enabled()) {
     return;

@@ -43,6 +43,9 @@ class BufferCache {
   void Insert(std::uint64_t lba, std::uint32_t count,
               std::vector<std::uint64_t>* evicted_dirty = nullptr);
   void InvalidateRange(std::uint64_t lba, std::uint32_t count);
+  // Drops every cached block (power loss: DRAM is volatile).  Dirty data is
+  // gone too — the caller counts it as lost.  Hit/miss counters survive.
+  void Clear();
 
   // -- Write-back support (section 4.2: "a write-back cache might avoid
   // some erasures at the cost of occasional data loss") -------------------

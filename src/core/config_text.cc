@@ -181,6 +181,68 @@ bool ApplyConfigAssignment(SimConfig* config, const std::string& raw_key,
     config->cleaning_policy = *policy;
     return true;
   }
+  if (key == "fault.seed") {
+    const auto v = ParseDouble(value);
+    if (!v || *v < 0.0) {
+      SetError(error, "bad seed '" + value + "' for " + key);
+      return false;
+    }
+    config->fault.seed = static_cast<std::uint64_t>(*v);
+    return true;
+  }
+  if (key == "fault.power_loss_interval" || key == "fault.retry_backoff") {
+    const auto v = ParseDouble(value);
+    if (!v || *v < 0.0) {
+      SetError(error, "bad seconds '" + value + "' for " + key);
+      return false;
+    }
+    (key == "fault.power_loss_interval" ? config->fault.power_loss_interval_us
+                                        : config->fault.retry_backoff_us) = UsFromSec(*v);
+    return true;
+  }
+  if (key == "fault.transient_error_rate" || key == "fault.bad_block_rate" ||
+      key == "fault.endurance_spread") {
+    const auto v = ParseDouble(value);
+    if (!v || *v < 0.0 || *v >= 1.0) {
+      SetError(error, "bad fraction '" + value + "' for " + key);
+      return false;
+    }
+    if (key == "fault.transient_error_rate") {
+      config->fault.transient_error_rate = *v;
+    } else if (key == "fault.bad_block_rate") {
+      config->fault.bad_block_rate = *v;
+    } else {
+      config->fault.endurance_spread = *v;
+    }
+    return true;
+  }
+  if (key == "fault.endurance_scale") {
+    const auto v = ParseDouble(value);
+    if (!v || *v <= 0.0) {
+      SetError(error, "bad scale '" + value + "' for " + key);
+      return false;
+    }
+    config->fault.endurance_scale = *v;
+    return true;
+  }
+  if (key == "fault.max_retries") {
+    const auto v = ParseDouble(value);
+    if (!v || *v < 0.0 || *v != static_cast<double>(static_cast<std::uint32_t>(*v))) {
+      SetError(error, "bad count '" + value + "' for " + key);
+      return false;
+    }
+    config->fault.max_retries = static_cast<std::uint32_t>(*v);
+    return true;
+  }
+  if (key == "fault.wear_out") {
+    const auto v = ParseBool(value);
+    if (!v) {
+      SetError(error, "bad boolean '" + value + "' for " + key);
+      return false;
+    }
+    config->fault.wear_out = *v;
+    return true;
+  }
   const struct {
     const char* name;
     bool SimConfig::*field;

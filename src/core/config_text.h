@@ -19,6 +19,15 @@
 //   sync_interval        write-back sync period, seconds
 //   warm_fraction        leading fraction used to warm caches
 //   geometry             bool (use the geometry-based disk model)
+//   fault.seed                  fault-injection RNG seed
+//   fault.power_loss_interval   mean seconds between power losses (0 = off)
+//   fault.transient_error_rate  per-I/O transient failure probability (0..1)
+//   fault.bad_block_rate        factory bad-segment probability (0..1)
+//   fault.wear_out              bool (per-segment endurance budgets)
+//   fault.endurance_scale       wear budget mean as multiple of datasheet
+//   fault.endurance_spread      wear budget stddev as fraction of the mean
+//   fault.max_retries           I/O retry bound
+//   fault.retry_backoff         base retry backoff, seconds
 #ifndef MOBISIM_SRC_CORE_CONFIG_TEXT_H_
 #define MOBISIM_SRC_CORE_CONFIG_TEXT_H_
 

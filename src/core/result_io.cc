@@ -396,6 +396,34 @@ ResultRow ResultToRow(const SimResult& result) {
     modes += buf;
   }
   row.AddText("mode_seconds", modes);
+
+  // Fault metrics are gated so healthy runs keep the exact pre-fault schema
+  // (the committed bench_db baseline depends on it).  The sweep runner sets
+  // fault.export_metrics uniformly across a grid, so fault sweeps still
+  // produce one consistent schema per file.
+  if (result.fault_enabled) {
+    row.AddInt("power_losses", result.power_losses);
+    row.AddInt("lost_acked_writes", result.lost_acked_writes);
+    row.AddInt("io_retries", result.io_retries);
+    row.AddInt("io_failures", result.io_failures);
+    row.AddInt("transient_errors", result.transient_errors);
+    row.AddNumber("recovery_sec", result.recovery_sec);
+    row.AddNumber("recovery_energy_j", result.recovery_energy_j);
+    row.AddInt("remapped_blocks", result.remapped_blocks);
+    row.AddInt("bad_segments", result.bad_segments);
+    row.AddNumber("usable_capacity_fraction", result.usable_capacity_fraction);
+    // Same packed convention as mode_seconds: "sec=fraction;...".
+    std::string timeline;
+    for (const auto& [sec, fraction] : result.capacity_timeline) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g=%.17g", sec, fraction);
+      if (!timeline.empty()) {
+        timeline += ';';
+      }
+      timeline += buf;
+    }
+    row.AddText("capacity_timeline", timeline);
+  }
   return row;
 }
 

@@ -7,6 +7,7 @@
 #include "src/device/device_catalog.h"
 #include "src/device/device_spec.h"
 #include "src/device/geometric_disk.h"
+#include "src/fault/fault.h"
 #include "src/flash/segment_manager.h"
 #include "src/util/sim_time.h"
 
@@ -71,6 +72,10 @@ struct SimConfig {
   // (DOS/UNIX-style periodic sync).  Default is the paper's write-through.
   bool write_back_cache = false;
   SimTime cache_sync_interval_us = 30 * kUsPerSec;
+
+  // Fault injection and recovery (`fault.*` config keys).  All defaults
+  // model healthy hardware; the layer is then a strict no-op.
+  FaultConfig fault;
 };
 
 // Convenience constructors for the paper's standard configurations.

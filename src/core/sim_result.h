@@ -54,6 +54,25 @@ struct SimResult {
   // a rendered one-line energy breakdown.
   std::vector<std::pair<std::string, double>> device_mode_seconds;
   std::string device_energy_breakdown;
+
+  // -- Fault injection and recovery (exported only when fault_enabled so
+  // healthy runs keep their pre-fault output schema byte-identical) --------
+  bool fault_enabled = false;
+  std::uint64_t power_losses = 0;
+  // Host write blocks acknowledged but lost to power failures.
+  std::uint64_t lost_acked_writes = 0;
+  std::uint64_t io_retries = 0;
+  std::uint64_t io_failures = 0;
+  std::uint64_t transient_errors = 0;
+  double recovery_sec = 0.0;
+  double recovery_energy_j = 0.0;
+  std::uint64_t remapped_blocks = 0;
+  std::uint64_t bad_segments = 0;
+  // Usable fraction of physical flash capacity at end of run (1.0 when the
+  // device does not model capacity, e.g. disks).
+  double usable_capacity_fraction = 1.0;
+  // (seconds, usable fraction) per capacity-losing event.
+  std::vector<std::pair<double, double>> capacity_timeline;
 };
 
 }  // namespace mobisim

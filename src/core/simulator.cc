@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/device/flash_card.h"
+#include "src/fault/fault.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/util/check.h"
@@ -37,8 +39,22 @@ SimResult RunSimulation(const BlockTrace& trace, const SimConfig& config) {
   double warm_sram_j = 0.0;
   SimTime post_warm_start = trace.records.front().time_us;
 
+  // Power-loss schedule: exponential inter-arrival times starting from the
+  // trace's first timestamp.  Inert (no draws) unless configured.
+  FaultPlan fault_plan(config.fault);
+  SimTime next_power_loss = 0;
+  if (fault_plan.power_loss_enabled()) {
+    next_power_loss = trace.records.front().time_us + fault_plan.NextInterval();
+  }
+
   for (std::uint64_t i = 0; i < trace.records.size(); ++i) {
     const BlockRecord& rec = trace.records[i];
+    if (fault_plan.power_loss_enabled()) {
+      while (rec.time_us >= next_power_loss) {
+        system.PowerLoss(next_power_loss);
+        next_power_loss += fault_plan.NextInterval();
+      }
+    }
     if (i == result.warm_record_count) {
       // Snapshot energy at the warm/measure boundary; the caches keep their
       // contents ("warm start").
@@ -83,6 +99,30 @@ SimResult RunSimulation(const BlockTrace& trace, const SimConfig& config) {
   result.sram_flushes = system.sram().flushes();
   result.max_segment_erases = result.counters.segment_erase_stats.max();
   result.mean_segment_erases = result.counters.segment_erase_stats.mean();
+
+  result.fault_enabled = config.fault.enabled() || config.fault.export_metrics;
+  if (result.fault_enabled) {
+    const FaultStats& fs = system.fault_stats();
+    result.power_losses = fs.power_losses;
+    result.lost_acked_writes = fs.lost_acked_blocks;
+    result.io_retries = fs.io_retries;
+    result.io_failures = fs.io_failures;
+    result.recovery_sec = SecFromUs(fs.recovery_time_us);
+    result.recovery_energy_j = fs.recovery_energy_j;
+    result.transient_errors = result.counters.transient_errors;
+    result.remapped_blocks = result.counters.remapped_blocks;
+    result.bad_segments = result.counters.bad_segments;
+    if (result.counters.physical_blocks > 0) {
+      result.usable_capacity_fraction =
+          static_cast<double>(result.counters.usable_blocks) /
+          static_cast<double>(result.counters.physical_blocks);
+    }
+    if (const auto* card = dynamic_cast<const FlashCard*>(&system.device())) {
+      for (const auto& [at_us, fraction] : card->capacity_events()) {
+        result.capacity_timeline.emplace_back(SecFromUs(at_us), fraction);
+      }
+    }
+  }
   return result;
 }
 

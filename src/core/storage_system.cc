@@ -32,6 +32,8 @@ StorageSystem::StorageSystem(const SimConfig& config, std::uint64_t trace_blocks
   options.background_cleaning = config.background_cleaning;
   options.cleaning_policy = config.cleaning_policy;
   options.separate_cleaning_segment = config.separate_cleaning_segment;
+  options.fault = config.fault;
+  fault_on_ = config.fault.enabled();
 
   const std::uint64_t trace_bytes = trace_blocks * block_bytes;
   options.capacity_bytes = config.capacity_bytes;
@@ -83,6 +85,61 @@ bool StorageSystem::DeviceIsSleeping(SimTime now) const {
   return false;
 }
 
+SimTime StorageSystem::DeviceRead(SimTime now, const BlockRecord& rec) {
+  if (!fault_on_) {
+    return device_->Read(now, rec);
+  }
+  SimTime elapsed = 0;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    const IoResult r = device_->ReadOp(now + elapsed, rec);
+    elapsed += r.time_us;
+    if (r.ok()) {
+      break;
+    }
+    if (attempt >= config_.fault.max_retries) {
+      ++fault_stats_.io_failures;
+      break;
+    }
+    ++attempt;
+    ++fault_stats_.io_retries;
+    // Exponential backoff: attempt k waits 2^(k-1) * retry_backoff.
+    elapsed += config_.fault.retry_backoff_us * (SimTime{1} << (attempt - 1));
+  }
+  return elapsed;
+}
+
+SimTime StorageSystem::DeviceWrite(SimTime now, const BlockRecord& rec,
+                                   WriteSource source) {
+  if (!fault_on_) {
+    return device_->Write(now, rec);
+  }
+  SimTime elapsed = 0;
+  std::uint32_t attempt = 0;
+  bool durable = false;
+  for (;;) {
+    const IoResult r = device_->WriteOp(now + elapsed, rec);
+    elapsed += r.time_us;
+    if (r.ok()) {
+      durable = true;
+      break;
+    }
+    if (attempt >= config_.fault.max_retries) {
+      ++fault_stats_.io_failures;
+      break;
+    }
+    ++attempt;
+    ++fault_stats_.io_retries;
+    elapsed += config_.fault.retry_backoff_us * (SimTime{1} << (attempt - 1));
+  }
+  if (durable) {
+    // Track the in-flight window: if power fails before `completion_us` the
+    // write was acknowledged but is not durable yet.
+    pending_.push_back({now + elapsed, rec.lba, rec.block_count, source});
+  }
+  return elapsed;
+}
+
 SimTime StorageSystem::DrainSramTo(SimTime now) {
   SimTime completion = now;
   for (const SramWriteBuffer::FlushRange& range : sram_.Drain()) {
@@ -93,7 +150,7 @@ SimTime StorageSystem::DrainSramTo(SimTime now) {
     rec.block_count = range.count;
     // Flushed ranges come from arbitrary files; charge a random access.
     rec.file_id = ~std::uint32_t{0} - 1;
-    completion = now + device_->Write(now, rec);
+    completion = now + DeviceWrite(now, rec, WriteSource::kSramFlush);
   }
   return completion;
 }
@@ -102,10 +159,66 @@ void StorageSystem::AccountTo(SimTime now) {
   dram_.AccountUntil(now);
   sram_.AccountUntil(now);
   device_->AdvanceTo(now);
+  if (fault_on_) {
+    while (!pending_.empty() && pending_.front().completion_us <= now) {
+      pending_.pop_front();
+    }
+  }
   if (config_.write_back_cache && now >= next_cache_sync_us_) {
     SyncDirtyCache(now);
     next_cache_sync_us_ = now + config_.cache_sync_interval_us;
   }
+}
+
+SimTime StorageSystem::PowerLoss(SimTime now) {
+  AccountTo(now);
+  ++fault_stats_.power_losses;
+
+  // Triage in-flight device writes.  SRAM-flush data still sits safely in
+  // the battery-backed buffer — put it back so it re-flushes after reboot;
+  // everything else was acknowledged to the host and is gone.
+  std::vector<PendingWrite> respill;
+  for (const PendingWrite& w : pending_) {
+    if (w.completion_us <= now) {
+      continue;  // became durable before the lights went out
+    }
+    if (w.source == WriteSource::kSramFlush) {
+      if (!sram_.Absorb(w.lba, w.count)) {
+        // The buffer refilled since the flush was issued; write the range
+        // straight out during recovery instead of dropping it.
+        respill.push_back(w);
+      }
+    } else {
+      fault_stats_.lost_acked_blocks += w.count;
+    }
+  }
+  pending_.clear();
+
+  // DRAM is volatile: dirty write-back blocks die with it, clean contents
+  // just need re-fetching.
+  fault_stats_.lost_acked_blocks += dram_.dirty_blocks();
+  dram_.Clear();
+
+  const double energy_before_j = TotalEnergyJoules();
+  const SimTime recovery = device_->PowerLoss(now);
+  for (const PendingWrite& w : respill) {
+    BlockRecord rec;
+    rec.time_us = now + recovery;
+    rec.op = OpType::kWrite;
+    rec.lba = w.lba;
+    rec.block_count = w.count;
+    rec.file_id = ~std::uint32_t{0} - 1;
+    // Recovery replay; transient errors are not modeled on this path.
+    device_->Write(now + recovery, rec);
+  }
+  fault_stats_.recovery_time_us += recovery;
+  fault_stats_.recovery_energy_j += TotalEnergyJoules() - energy_before_j;
+
+  if (config_.write_back_cache) {
+    // The periodic-sync clock restarts with the reboot.
+    next_cache_sync_us_ = now + recovery + config_.cache_sync_interval_us;
+  }
+  return recovery;
 }
 
 void StorageSystem::SyncDirtyCache(SimTime now) {
@@ -116,7 +229,7 @@ void StorageSystem::SyncDirtyCache(SimTime now) {
     rec.lba = range.lba;
     rec.block_count = range.count;
     rec.file_id = ~std::uint32_t{0} - 2;
-    device_->Write(now, rec);
+    DeviceWrite(now, rec, WriteSource::kCacheSync);
   }
 }
 
@@ -128,7 +241,7 @@ void StorageSystem::WriteBackEvicted(SimTime now, const std::vector<std::uint64_
     rec.lba = lba;
     rec.block_count = 1;
     rec.file_id = ~std::uint32_t{0} - 2;
-    device_->Write(now, rec);
+    DeviceWrite(now, rec, WriteSource::kCacheSync);
   }
 }
 
@@ -166,7 +279,7 @@ SimTime StorageSystem::HandleRead(const BlockRecord& rec) {
     // The device copy of some blocks is stale; flush before reading.
     start = DrainSramTo(now);
   }
-  const SimTime response = (start - now) + device_->Read(start, rec);
+  const SimTime response = (start - now) + DeviceRead(start, rec);
   std::vector<std::uint64_t> evicted_dirty;
   dram_.Insert(rec.lba, rec.block_count, &evicted_dirty);
   dram_.NoteTransfer(bytes);
@@ -201,7 +314,9 @@ SimTime StorageSystem::HandleWrite(const BlockRecord& rec) {
 
   if (!sram_.enabled() || rec.block_count > sram_.capacity_blocks()) {
     // No buffer (or the write cannot possibly fit): synchronous device write.
-    return device_->Write(now, rec);
+    // Under fault injection the host ack still happens at issue time, so a
+    // power loss inside this window loses the data (no battery backing).
+    return DeviceWrite(now, rec, WriteSource::kHost);
   }
 
   SimTime response = 0;

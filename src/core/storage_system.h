@@ -14,6 +14,7 @@
 #ifndef MOBISIM_SRC_CORE_STORAGE_SYSTEM_H_
 #define MOBISIM_SRC_CORE_STORAGE_SYSTEM_H_
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "src/device/geometric_disk.h"
 #include "src/device/magnetic_disk.h"
 #include "src/device/storage_device.h"
+#include "src/fault/fault.h"
 
 namespace mobisim {
 
@@ -41,6 +43,16 @@ class StorageSystem {
   // Brings all components' background accounting up to `now` without I/O.
   void AccountTo(SimTime now);
 
+  // Cuts power at `now` and reboots.  Battery-backed SRAM keeps its
+  // contents (in-flight SRAM flushes are pulled back into the buffer);
+  // volatile DRAM is cleared and its dirty write-back data — plus any other
+  // acknowledged-but-not-yet-durable device writes — is counted lost.
+  // Returns the device's recovery time; fault_stats() accumulates the
+  // damage.  Only meaningful when config.fault enables power loss.
+  SimTime PowerLoss(SimTime now);
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   // Closes all energy accounting at `end` (extended to cover in-flight work).
   void Finish(SimTime end);
 
@@ -54,9 +66,31 @@ class StorageSystem {
   double TotalEnergyJoules() const;
 
  private:
+  // Who issued a device write; decides its fate when power fails mid-flight.
+  enum class WriteSource : std::uint8_t {
+    kHost,       // synchronous host write (bypassed SRAM)
+    kSramFlush,  // flush of battery-backed SRAM contents
+    kCacheSync,  // write-back DRAM sync / dirty eviction
+  };
+  // A device write issued but not yet complete.  With fault injection on,
+  // the host sees writes acknowledged at issue time, so anything still here
+  // when power fails was acknowledged but is not durable.
+  struct PendingWrite {
+    SimTime completion_us = 0;
+    std::uint64_t lba = 0;
+    std::uint32_t count = 0;
+    WriteSource source = WriteSource::kHost;
+  };
+
   SimTime HandleRead(const BlockRecord& rec);
   SimTime HandleWrite(const BlockRecord& rec);
   void HandleErase(const BlockRecord& rec);
+
+  // Device I/O with bounded retry-with-backoff for injected transient
+  // errors.  Plain passthrough when fault injection is off.  Returns the
+  // total elapsed time (attempts + backoff).
+  SimTime DeviceRead(SimTime now, const BlockRecord& rec);
+  SimTime DeviceWrite(SimTime now, const BlockRecord& rec, WriteSource source);
 
   // Writes all buffered SRAM ranges to the device starting at `now`;
   // returns the completion time.
@@ -75,6 +109,13 @@ class StorageSystem {
   BufferCache dram_;
   SramWriteBuffer sram_;
   SimTime next_cache_sync_us_ = 0;
+
+  // Fault state (inert when config.fault is all-default).
+  bool fault_on_ = false;
+  FaultStats fault_stats_;
+  // Completion times are monotone in issue order (one serializing device),
+  // so durable entries are pruned from the front.
+  std::deque<PendingWrite> pending_;
 };
 
 // Capacity (bytes) a device needs so `trace_bytes` of live data fits at

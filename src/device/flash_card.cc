@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/check.h"
+#include "src/util/rng.h"
 
 namespace mobisim {
 
@@ -16,7 +17,8 @@ FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
               {"idle", spec.idle_w}}),
       segments_(SegmentManagerConfig{options.capacity_bytes, spec.erase_segment_bytes,
                                      options.block_bytes, /*logical_blocks=*/0,
-                                     options.separate_cleaning_segment}) {
+                                     options.separate_cleaning_segment}),
+      injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kFlashCard);
   const double copy_read_kbps =
       spec.internal_read_kbps > 0.0 ? spec.internal_read_kbps : spec.read_kbps;
@@ -25,18 +27,59 @@ FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
   block_copy_us_ = TransferTimeUs(options.block_bytes, copy_read_kbps) +
                    TransferTimeUs(options.block_bytes, copy_write_kbps);
   erase_us_ = UsFromMs(spec.erase_ms_per_segment);
+  // Reboot after power loss rescans one summary block per segment to rebuild
+  // the block mapping.
+  mount_scan_us_ = static_cast<SimTime>(segments_.segment_count()) *
+                   TransferTimeUs(options.block_bytes, copy_read_kbps);
+
+  const FaultConfig& fault = options.fault;
+  if (fault.wear_out) {
+    // Sample each erase block's cycle budget around the datasheet endurance.
+    Rng wear_rng(fault.seed, fault_streams::kWearBudget);
+    const double mean = std::max(
+        1.0, static_cast<double>(spec.endurance_cycles) * fault.endurance_scale);
+    for (std::uint32_t s = 0; s < segments_.segment_count(); ++s) {
+      const double draw = wear_rng.Normal(mean, mean * fault.endurance_spread);
+      segments_.SetEnduranceBudget(
+          s, draw < 1.0 ? 1u : static_cast<std::uint32_t>(draw));
+    }
+  }
+  if (fault.bad_block_rate > 0.0) {
+    // Factory bad blocks, capped so the card can still open active segments
+    // and run the cleaner.
+    Rng bad_rng(fault.seed, fault_streams::kBadBlocks);
+    constexpr std::uint32_t kMinGoodSegments = 4;
+    std::uint32_t good = segments_.segment_count();
+    for (std::uint32_t s = 0; s < segments_.segment_count() && good > kMinGoodSegments;
+         ++s) {
+      if (bad_rng.Chance(fault.bad_block_rate)) {
+        segments_.RetireSegment(s);
+        --good;
+      }
+    }
+    if (segments_.bad_segment_count() > 0) {
+      capacity_events_.emplace_back(0, UsableFraction());
+    }
+  }
+}
+
+double FlashCard::UsableFraction() const {
+  return static_cast<double>(segments_.usable_blocks()) /
+         static_cast<double>(segments_.total_blocks());
 }
 
 void FlashCard::Preload(std::uint64_t trace_blocks, double utilization, bool interleave) {
   MOBISIM_CHECK(utilization > 0.0 && utilization < 1.0);
+  // Utilization is measured against *usable* capacity so a card with factory
+  // bad blocks preloads to the same effective fullness.
   const std::uint64_t target_live =
-      static_cast<std::uint64_t>(utilization * static_cast<double>(segments_.total_blocks()));
+      static_cast<std::uint64_t>(utilization * static_cast<double>(segments_.usable_blocks()));
   MOBISIM_CHECK(trace_blocks <= target_live);
   // Leave the cleaner room to operate: two free segments, three when
   // cleaning copies get their own destination segment.
   const std::uint64_t slack_segments = options_.separate_cleaning_segment ? 3 : 2;
   MOBISIM_CHECK(target_live + slack_segments * segments_.blocks_per_segment() <=
-                segments_.total_blocks());
+                segments_.usable_blocks());
   const std::uint64_t filler = target_live - trace_blocks;
 
   if (!interleave || filler == 0 || trace_blocks == 0) {
@@ -117,10 +160,17 @@ bool FlashCard::MaybeStartCleanJob() {
 
 void FlashCard::CompleteCleanJob() {
   MOBISIM_DCHECK(job_.active);
-  const std::uint32_t copied = segments_.CleanSegment(job_.victim);
+  const std::uint32_t victim = job_.victim;
+  const std::uint32_t copied = segments_.CleanSegment(victim);
   counters_.blocks_copied += copied;
   ++counters_.segment_erases;
   job_ = CleanJob{};
+  if (segments_.segment_is_bad(victim)) {
+    // The victim hit its wear budget: its live data was just remapped away
+    // and the card shrank by one segment.
+    counters_.remapped_blocks += copied;
+    capacity_events_.emplace_back(accounted_until_, UsableFraction());
+  }
 }
 
 SimTime FlashCard::FinishCleanJobNow() {
@@ -165,7 +215,7 @@ void FlashCard::AccountUntil(SimTime t) {
 
 void FlashCard::AdvanceTo(SimTime now) { AccountUntil(now); }
 
-SimTime FlashCard::Read(SimTime now, const BlockRecord& rec) {
+SimTime FlashCard::ServiceRead(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   const SimTime start = std::max(now, busy_until_);
   const std::uint64_t bytes =
@@ -182,7 +232,7 @@ SimTime FlashCard::Read(SimTime now, const BlockRecord& rec) {
   return busy_until_ - now;
 }
 
-SimTime FlashCard::Write(SimTime now, const BlockRecord& rec) {
+SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   const SimTime start = std::max(now, busy_until_);
   SimTime stall = 0;
@@ -230,6 +280,71 @@ SimTime FlashCard::Write(SimTime now, const BlockRecord& rec) {
   return busy_until_ - now;
 }
 
+SimTime FlashCard::FailedWrite(SimTime now, const BlockRecord& rec) {
+  // A failed attempt pays bus overhead and programming time but appends
+  // nothing to the log: no slots consumed, no cleaning triggered, no stall.
+  // A retry therefore replays the identical mapping update.
+  AccountUntil(now);
+  const SimTime start = std::max(now, busy_until_);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
+  const double overhead_ms =
+      rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.write_overhead_ms;
+  const SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.write_kbps);
+  meter_.Accumulate(kModeWrite, service);
+  busy_until_ = start + service;
+  accounted_until_ = std::max(accounted_until_, busy_until_);
+  last_file_ = rec.file_id;
+  ++counters_.writes;
+  counters_.bytes_written += bytes;
+  return busy_until_ - now;
+}
+
+IoResult FlashCard::ReadOp(SimTime now, const BlockRecord& rec) {
+  // Reads mutate no logical state, so the error draw can follow the service.
+  const SimTime t = ServiceRead(now, rec);
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {t, IoStatus::kTransientError};
+  }
+  return {t, IoStatus::kOk};
+}
+
+IoResult FlashCard::WriteOp(SimTime now, const BlockRecord& rec) {
+  // Writes mutate the log, so the error is drawn *before* committing.
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {FailedWrite(now, rec), IoStatus::kTransientError};
+  }
+  return {ServiceWrite(now, rec), IoStatus::kOk};
+}
+
+SimTime FlashCard::PowerLoss(SimTime now) {
+  AccountUntil(now);
+  busy_until_ = std::min(busy_until_, now);
+  // Reboot rescans one summary block per segment to rebuild the mapping.
+  SimTime recovery = mount_scan_us_;
+  meter_.Accumulate(kModeRead, mount_scan_us_);
+  if (job_.active) {
+    if (job_.copy_remaining_us == 0) {
+      // Every live copy was durable before power failed; only the erase was
+      // interrupted.  Recovery re-issues it and commits the job.
+      recovery += erase_us_;
+      meter_.Accumulate(kModeErase, erase_us_);
+      CompleteCleanJob();
+    } else {
+      // Interrupted mid-copy.  Partial copies are superseded out-of-place
+      // data the mount scan ignores; the mapping is unchanged, so cleaning
+      // simply replays the victim later.
+      job_ = CleanJob{};
+    }
+  }
+  busy_until_ = now + recovery;
+  accounted_until_ = std::max(accounted_until_, busy_until_);
+  last_file_ = ~std::uint32_t{0};
+  return recovery;
+}
+
 void FlashCard::Trim(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   for (std::uint32_t i = 0; i < rec.block_count; ++i) {
@@ -241,6 +356,9 @@ void FlashCard::Finish(SimTime end) { AccountUntil(std::max(end, busy_until_)); 
 
 const DeviceCounters& FlashCard::counters() const {
   counters_.segment_erase_stats = segments_.EraseCountStats();
+  counters_.bad_segments = segments_.bad_segment_count();
+  counters_.usable_blocks = segments_.usable_blocks();
+  counters_.physical_blocks = segments_.total_blocks();
   return counters_;
 }
 

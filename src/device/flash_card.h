@@ -14,6 +14,9 @@
 #ifndef MOBISIM_SRC_DEVICE_FLASH_CARD_H_
 #define MOBISIM_SRC_DEVICE_FLASH_CARD_H_
 
+#include <utility>
+#include <vector>
+
 #include "src/device/storage_device.h"
 #include "src/flash/segment_manager.h"
 
@@ -32,8 +35,9 @@ class FlashCard : public StorageDevice {
   void Preload(std::uint64_t trace_blocks, double utilization, bool interleave = true);
 
   void AdvanceTo(SimTime now) override;
-  SimTime Read(SimTime now, const BlockRecord& rec) override;
-  SimTime Write(SimTime now, const BlockRecord& rec) override;
+  IoResult ReadOp(SimTime now, const BlockRecord& rec) override;
+  IoResult WriteOp(SimTime now, const BlockRecord& rec) override;
+  SimTime PowerLoss(SimTime now) override;
   void Trim(SimTime now, const BlockRecord& rec) override;
   void Finish(SimTime end) override;
 
@@ -43,6 +47,13 @@ class FlashCard : public StorageDevice {
   SimTime busy_until() const override { return busy_until_; }
 
   const SegmentManager& segments() const { return segments_; }
+
+  // Usable-capacity timeline: one (time, usable fraction of physical
+  // capacity) entry per capacity-losing event (factory bad blocks at time 0,
+  // wear-out retirements as they happen).  Empty on a healthy card.
+  const std::vector<std::pair<SimTime, double>>& capacity_events() const {
+    return capacity_events_;
+  }
 
  private:
   enum Mode : std::size_t { kModeRead = 0, kModeWrite, kModeErase, kModeClean, kModeIdle };
@@ -72,6 +83,11 @@ class FlashCard : public StorageDevice {
   // Applies the job's state transition.
   void CompleteCleanJob();
   void AccountUntil(SimTime t);
+  SimTime ServiceRead(SimTime now, const BlockRecord& rec);
+  SimTime ServiceWrite(SimTime now, const BlockRecord& rec);
+  // Time/energy of a write attempt that fails before committing any block.
+  SimTime FailedWrite(SimTime now, const BlockRecord& rec);
+  double UsableFraction() const;
 
   DeviceSpec spec_;
   DeviceOptions options_;
@@ -79,12 +95,15 @@ class FlashCard : public StorageDevice {
   mutable DeviceCounters counters_;
   SegmentManager segments_;
   CleanJob job_;
+  FaultInjector injector_;
 
   SimTime accounted_until_ = 0;
   SimTime busy_until_ = 0;
   std::uint32_t last_file_ = ~std::uint32_t{0};
   SimTime block_copy_us_;   // read+write one block during cleaning
   SimTime erase_us_;        // fixed per-segment erase time
+  SimTime mount_scan_us_;   // reboot pass: read one summary block per segment
+  std::vector<std::pair<SimTime, double>> capacity_events_;
 };
 
 }  // namespace mobisim

@@ -12,7 +12,8 @@ FlashDisk::FlashDisk(const DeviceSpec& spec, const DeviceOptions& options)
       meter_({{"read", spec.read_w},
               {"write", spec.write_w},
               {"erase", spec.erase_w},
-              {"idle", spec.idle_w}}) {
+              {"idle", spec.idle_w}}),
+      injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kFlashDisk);
   MOBISIM_CHECK(options.block_bytes > 0);
   const std::uint64_t blocks = options.capacity_bytes / options.block_bytes;
@@ -63,7 +64,7 @@ void FlashDisk::AccountUntil(SimTime t) {
 
 void FlashDisk::AdvanceTo(SimTime now) { AccountUntil(now); }
 
-SimTime FlashDisk::Read(SimTime now, const BlockRecord& rec) {
+SimTime FlashDisk::ServiceRead(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   const SimTime start = std::max(now, busy_until_);
   const std::uint64_t bytes =
@@ -80,7 +81,7 @@ SimTime FlashDisk::Read(SimTime now, const BlockRecord& rec) {
   return busy_until_ - now;
 }
 
-SimTime FlashDisk::Write(SimTime now, const BlockRecord& rec) {
+SimTime FlashDisk::ServiceWrite(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   const SimTime start = std::max(now, busy_until_);
   const std::uint64_t bytes =
@@ -138,6 +139,58 @@ SimTime FlashDisk::Write(SimTime now, const BlockRecord& rec) {
   ++counters_.writes;
   counters_.bytes_written += bytes;
   return busy_until_ - now;
+}
+
+SimTime FlashDisk::FailedWrite(SimTime now, const BlockRecord& rec) {
+  // The attempt pays bus overhead and programming time at the coupled rate
+  // but commits no sector, so the mapping (and dirty/pre-erased accounting)
+  // is untouched and a retry replays the identical update.
+  AccountUntil(now);
+  const SimTime start = std::max(now, busy_until_);
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
+  double kbps = spec_.write_kbps;
+  if (spec_.erase_kbps > 0.0 && spec_.pre_erased_write_kbps > 0.0) {
+    kbps = 1.0 / (1.0 / spec_.erase_kbps + 1.0 / spec_.pre_erased_write_kbps);
+  }
+  const double overhead_ms =
+      rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.write_overhead_ms;
+  const SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, kbps);
+  meter_.Accumulate(kModeWrite, service);
+  busy_until_ = start + service;
+  accounted_until_ = std::max(accounted_until_, busy_until_);
+  last_file_ = rec.file_id;
+  ++counters_.writes;
+  counters_.bytes_written += bytes;
+  return busy_until_ - now;
+}
+
+IoResult FlashDisk::ReadOp(SimTime now, const BlockRecord& rec) {
+  // Reads mutate no logical state, so the error draw can follow the service.
+  const SimTime t = ServiceRead(now, rec);
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {t, IoStatus::kTransientError};
+  }
+  return {t, IoStatus::kOk};
+}
+
+IoResult FlashDisk::WriteOp(SimTime now, const BlockRecord& rec) {
+  // Writes mutate the mapping, so the error is drawn *before* committing.
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {FailedWrite(now, rec), IoStatus::kTransientError};
+  }
+  return {ServiceWrite(now, rec), IoStatus::kOk};
+}
+
+SimTime FlashDisk::PowerLoss(SimTime now) {
+  // Block-interface flash commits each sector as it is programmed; nothing
+  // volatile to lose and no recovery pass.  In-flight work is abandoned.
+  AccountUntil(now);
+  busy_until_ = std::min(busy_until_, now);
+  last_file_ = ~std::uint32_t{0};
+  return 0;
 }
 
 void FlashDisk::Trim(SimTime now, const BlockRecord& rec) {

@@ -33,8 +33,9 @@ class FlashDisk : public StorageDevice {
   bool asynchronous_erasure() const { return async_erase_; }
 
   void AdvanceTo(SimTime now) override;
-  SimTime Read(SimTime now, const BlockRecord& rec) override;
-  SimTime Write(SimTime now, const BlockRecord& rec) override;
+  IoResult ReadOp(SimTime now, const BlockRecord& rec) override;
+  IoResult WriteOp(SimTime now, const BlockRecord& rec) override;
+  SimTime PowerLoss(SimTime now) override;
   void Trim(SimTime now, const BlockRecord& rec) override;
   void Finish(SimTime end) override;
 
@@ -50,11 +51,16 @@ class FlashDisk : public StorageDevice {
   enum Mode : std::size_t { kModeRead = 0, kModeWrite, kModeErase, kModeIdle };
 
   void AccountUntil(SimTime t);
+  SimTime ServiceRead(SimTime now, const BlockRecord& rec);
+  SimTime ServiceWrite(SimTime now, const BlockRecord& rec);
+  // Time/energy of a write attempt that fails before committing any sector.
+  SimTime FailedWrite(SimTime now, const BlockRecord& rec);
 
   DeviceSpec spec_;
   DeviceOptions options_;
   EnergyMeter meter_;
   DeviceCounters counters_;
+  FaultInjector injector_;
 
   bool async_erase_ = false;
   SimTime accounted_until_ = 0;

@@ -52,7 +52,8 @@ GeometricDisk::GeometricDisk(const DeviceSpec& spec, const DiskGeometry& geometr
               {"write", spec.write_w},
               {"idle", spec.idle_w},
               {"sleep", spec.sleep_w},
-              {"spinup", spec.spinup_w}}) {
+              {"spinup", spec.spinup_w}}),
+      injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kMagneticDisk);
   MOBISIM_CHECK(geometry.cylinders > 0 && geometry.heads > 0 &&
                 geometry.sectors_per_track > 0);
@@ -188,12 +189,33 @@ SimTime GeometricDisk::ServiceOp(SimTime now, const BlockRecord& rec, bool is_re
   return t - now;
 }
 
-SimTime GeometricDisk::Read(SimTime now, const BlockRecord& rec) {
-  return ServiceOp(now, rec, /*is_read=*/true);
+// As in MagneticDisk: a disk holds no logical state, so a failed attempt is
+// a full-cost service whose data did not land.
+IoResult GeometricDisk::ReadOp(SimTime now, const BlockRecord& rec) {
+  const SimTime t = ServiceOp(now, rec, /*is_read=*/true);
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {t, IoStatus::kTransientError};
+  }
+  return {t, IoStatus::kOk};
 }
 
-SimTime GeometricDisk::Write(SimTime now, const BlockRecord& rec) {
-  return ServiceOp(now, rec, /*is_read=*/false);
+IoResult GeometricDisk::WriteOp(SimTime now, const BlockRecord& rec) {
+  const SimTime t = ServiceOp(now, rec, /*is_read=*/false);
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {t, IoStatus::kTransientError};
+  }
+  return {t, IoStatus::kOk};
+}
+
+SimTime GeometricDisk::PowerLoss(SimTime now) {
+  AccountUntil(now);
+  spinning_ = false;
+  busy_until_ = std::min(busy_until_, now);
+  idle_since_ = std::min(idle_since_, now);
+  head_cylinder_ = 0;
+  return 0;
 }
 
 void GeometricDisk::Trim(SimTime now, const BlockRecord& rec) {

@@ -52,8 +52,9 @@ class GeometricDisk : public StorageDevice {
                 const DeviceOptions& options);
 
   void AdvanceTo(SimTime now) override;
-  SimTime Read(SimTime now, const BlockRecord& rec) override;
-  SimTime Write(SimTime now, const BlockRecord& rec) override;
+  IoResult ReadOp(SimTime now, const BlockRecord& rec) override;
+  IoResult WriteOp(SimTime now, const BlockRecord& rec) override;
+  SimTime PowerLoss(SimTime now) override;
   void Trim(SimTime now, const BlockRecord& rec) override;
   void Finish(SimTime end) override;
 
@@ -89,6 +90,7 @@ class GeometricDisk : public StorageDevice {
   DeviceOptions options_;
   EnergyMeter meter_;
   DeviceCounters counters_;
+  FaultInjector injector_;
 
   SimTime accounted_until_ = 0;
   SimTime busy_until_ = 0;

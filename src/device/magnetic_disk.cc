@@ -13,7 +13,8 @@ MagneticDisk::MagneticDisk(const DeviceSpec& spec, const DeviceOptions& options)
               {"write", spec.write_w},
               {"idle", spec.idle_w},
               {"sleep", spec.sleep_w},
-              {"spinup", spec.spinup_w}}) {
+              {"spinup", spec.spinup_w}}),
+      injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kMagneticDisk);
   MOBISIM_CHECK(options.spin_down_after_us >= 0);
   threshold_us_ = options.spin_down_after_us;
@@ -118,12 +119,39 @@ SimTime MagneticDisk::ServiceOp(SimTime now, const BlockRecord& rec, bool is_rea
   return t - now;
 }
 
-SimTime MagneticDisk::Read(SimTime now, const BlockRecord& rec) {
-  return ServiceOp(now, rec, /*is_read=*/true);
+// A disk has no logical state to corrupt, so a transiently-failed attempt is
+// simply a full-cost service whose data did not make it; the error draw
+// happens after the mechanics.
+IoResult MagneticDisk::ReadOp(SimTime now, const BlockRecord& rec) {
+  const SimTime t = ServiceOp(now, rec, /*is_read=*/true);
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {t, IoStatus::kTransientError};
+  }
+  return {t, IoStatus::kOk};
 }
 
-SimTime MagneticDisk::Write(SimTime now, const BlockRecord& rec) {
-  return ServiceOp(now, rec, /*is_read=*/false);
+IoResult MagneticDisk::WriteOp(SimTime now, const BlockRecord& rec) {
+  const SimTime t = ServiceOp(now, rec, /*is_read=*/false);
+  if (injector_.NextError()) {
+    ++counters_.transient_errors;
+    return {t, IoStatus::kTransientError};
+  }
+  return {t, IoStatus::kOk};
+}
+
+SimTime MagneticDisk::PowerLoss(SimTime now) {
+  AccountUntil(now);
+  // Power loss halts the platters instantly and abandons any queued work;
+  // the next operation pays a normal spin-up.
+  if (spinning_) {
+    spinning_ = false;
+    slept_since_ = now;
+  }
+  busy_until_ = std::min(busy_until_, now);
+  idle_since_ = std::min(idle_since_, now);
+  last_file_ = ~std::uint32_t{0};
+  return 0;
 }
 
 void MagneticDisk::Trim(SimTime now, const BlockRecord& rec) {

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/device/device_spec.h"
+#include "src/fault/fault.h"
 #include "src/flash/segment_manager.h"
 #include "src/trace/trace_record.h"
 #include "src/util/energy_meter.h"
@@ -35,6 +36,13 @@ struct DeviceCounters {
   std::uint64_t clean_jobs = 0;
   std::uint64_t write_stalls = 0;    // writes that waited for erasure/cleaning
   SimTime stall_time_us = 0;
+  // Fault injection (all stay zero when fault modeling is off).  reads/writes
+  // above count *attempts*, so retried operations appear once per attempt.
+  std::uint64_t transient_errors = 0;  // injected read/write attempt failures
+  std::uint64_t remapped_blocks = 0;   // live blocks relocated off retiring segments
+  std::uint64_t bad_segments = 0;      // erase blocks retired (factory bad + wear-out)
+  std::uint64_t usable_blocks = 0;     // flash card: physical slots still usable
+  std::uint64_t physical_blocks = 0;   // flash card: physical slots at full health
   // Endurance summary (flash card): per-segment erase-count distribution.
   RunningStats segment_erase_stats;
 };
@@ -47,10 +55,29 @@ class StorageDevice {
   // and energy accounting up to `now` without performing I/O.
   virtual void AdvanceTo(SimTime now) = 0;
 
-  // Services a request arriving at `now`; returns the response time in
-  // microseconds (queueing + device mechanics).
-  virtual SimTime Read(SimTime now, const BlockRecord& rec) = 0;
-  virtual SimTime Write(SimTime now, const BlockRecord& rec) = 0;
+  // Services a single request *attempt* arriving at `now`.  The returned
+  // time is how long the attempt occupied the device; the status reports
+  // injected transient errors.  A failed attempt pays full time and energy
+  // but leaves the device's logical state (flash mapping, cleaning progress)
+  // untouched, so callers may retry it verbatim.  With fault injection off
+  // the status is always kOk.
+  virtual IoResult ReadOp(SimTime now, const BlockRecord& rec) = 0;
+  virtual IoResult WriteOp(SimTime now, const BlockRecord& rec) = 0;
+
+  // Convenience wrappers for callers that do not model retries; they ignore
+  // injected errors and return just the response time.
+  SimTime Read(SimTime now, const BlockRecord& rec) { return ReadOp(now, rec).time_us; }
+  SimTime Write(SimTime now, const BlockRecord& rec) { return WriteOp(now, rec).time_us; }
+
+  // Cuts power at `now`: accounts up to `now`, truncates any in-flight work,
+  // and resets volatile device state (spin state, cleaning progress).
+  // Returns the simulated recovery ("reboot") time the device needs before
+  // servicing new requests; the base implementation models devices with no
+  // recovery pass.
+  virtual SimTime PowerLoss(SimTime now) {
+    AdvanceTo(now);
+    return 0;
+  }
 
   // Drops the blocks of a deleted file.  Free for a disk; reclaims space on
   // flash.  Takes no simulated time (metadata operation).
@@ -96,6 +123,9 @@ struct DeviceOptions {
   // Route cleaning copies into their own segment (eNVy-style hot/cold
   // separation) instead of mixing them with fresh writes.
   bool separate_cleaning_segment = false;
+  // Fault injection knobs (transient errors, wear-out budgets, factory bad
+  // blocks).  Defaults model healthy hardware and cost nothing.
+  FaultConfig fault;
 };
 
 std::unique_ptr<StorageDevice> CreateDevice(const DeviceSpec& spec, const DeviceOptions& options);

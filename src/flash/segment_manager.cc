@@ -230,7 +230,9 @@ std::uint32_t SegmentManager::CleanSegment(std::uint32_t segment) {
   victim.sequence = 0;
   ++victim.erase_count;
   ++total_erases_;
-  if (config_.endurance_limit > 0 && victim.erase_count >= config_.endurance_limit) {
+  const std::uint32_t limit =
+      victim.endurance_limit > 0 ? victim.endurance_limit : config_.endurance_limit;
+  if (limit > 0 && victim.erase_count >= limit) {
     // The erase succeeded but the segment is at its cycle limit: retire it.
     victim.bad = true;
     ++bad_segments_;
@@ -239,6 +241,29 @@ std::uint32_t SegmentManager::CleanSegment(std::uint32_t segment) {
     free_slots_ += blocks_per_segment_;
   }
   return copied;
+}
+
+void SegmentManager::SetEnduranceBudget(std::uint32_t segment, std::uint32_t limit) {
+  MOBISIM_CHECK(segment < segments_.size());
+  segments_[segment].endurance_limit = limit;
+}
+
+void SegmentManager::RetireSegment(std::uint32_t segment) {
+  MOBISIM_CHECK(segment < segments_.size());
+  Segment& seg = segments_[segment];
+  MOBISIM_CHECK(seg.slots_used == 0 && !seg.bad);
+  MOBISIM_CHECK(segment != active_segment_ && segment != cleaning_segment_);
+  MOBISIM_CHECK(erased_segments_ > 0);
+  MOBISIM_CHECK(free_slots_ >= blocks_per_segment_);
+  seg.bad = true;
+  --erased_segments_;
+  free_slots_ -= blocks_per_segment_;
+  ++bad_segments_;
+}
+
+bool SegmentManager::segment_is_bad(std::uint32_t segment) const {
+  MOBISIM_CHECK(segment < segments_.size());
+  return segments_[segment].bad;
 }
 
 RunningStats SegmentManager::EraseCountStats() const {

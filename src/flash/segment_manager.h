@@ -90,6 +90,14 @@ class SegmentManager {
   // Returns the number of blocks copied.
   std::uint32_t CleanSegment(std::uint32_t segment);
 
+  // Per-segment endurance override used by fault injection to sample a wear
+  // budget per erase block; 0 falls back to config.endurance_limit.
+  void SetEnduranceBudget(std::uint32_t segment, std::uint32_t limit);
+
+  // Retires a currently-erased, non-active segment immediately (factory bad
+  // block).  Its capacity is lost.
+  void RetireSegment(std::uint32_t segment);
+
   // -- Introspection ----------------------------------------------------------
   std::uint32_t segment_count() const { return static_cast<std::uint32_t>(segments_.size()); }
   std::uint32_t blocks_per_segment() const { return blocks_per_segment_; }
@@ -101,6 +109,12 @@ class SegmentManager {
   std::uint32_t erased_segment_count() const { return erased_segments_; }
   // Segments retired by the endurance limit.
   std::uint32_t bad_segment_count() const { return bad_segments_; }
+  bool segment_is_bad(std::uint32_t segment) const;
+  // Physical slots not lost to retired segments.
+  std::uint64_t usable_blocks() const {
+    return total_blocks() -
+           static_cast<std::uint64_t>(bad_segments_) * blocks_per_segment_;
+  }
   // Unwritten slots remaining in the current active segment (0 if none open).
   std::uint32_t active_free_slots() const;
   // Unwritten slots remaining in the cleaning destination segment; falls
@@ -123,6 +137,8 @@ class SegmentManager {
     std::uint32_t slots_used = 0;   // appended blocks since last erase
     std::uint32_t live = 0;         // still-mapped blocks
     std::uint32_t erase_count = 0;
+    // Sampled wear budget for this segment; 0 uses config.endurance_limit.
+    std::uint32_t endurance_limit = 0;
     bool bad = false;               // retired by the endurance limit
     std::uint64_t sequence = 0;     // fill-completion order, for cost-benefit age
     // Logical blocks appended since last erase; entries may be stale

@@ -101,8 +101,8 @@ std::uint64_t ReplicaSeed(std::uint64_t seed, std::size_t replica) {
 std::size_t GridSize(const ExperimentSpec& spec) {
   return DimSize(spec.devices) * DimSize(spec.workloads) * DimSize(spec.utilizations) *
          DimSize(spec.dram_sizes) * DimSize(spec.sram_sizes) *
-         DimSize(spec.cleaning_policies) * DimSize(spec.seeds) *
-         (spec.replicas == 0 ? 1 : spec.replicas);
+         DimSize(spec.cleaning_policies) * DimSize(spec.power_loss_intervals) *
+         DimSize(spec.seeds) * (spec.replicas == 0 ? 1 : spec.replicas);
 }
 
 std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
@@ -124,9 +124,17 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
       spec.cleaning_policies.empty()
           ? std::vector<CleaningPolicy>{spec.base.cleaning_policy}
           : spec.cleaning_policies;
+  const std::vector<double> power_loss_intervals =
+      spec.power_loss_intervals.empty()
+          ? std::vector<double>{SecFromUs(spec.base.fault.power_loss_interval_us)}
+          : spec.power_loss_intervals;
   const std::vector<std::uint64_t> seeds =
       spec.seeds.empty() ? std::vector<std::uint64_t>{1} : spec.seeds;
   const std::size_t replicas = spec.replicas == 0 ? 1 : spec.replicas;
+  // Any fault activity anywhere in the grid turns metric export on for every
+  // point, so a sweep's rows all share one column schema.
+  const bool export_fault =
+      !spec.power_loss_intervals.empty() || spec.base.fault.enabled();
 
   std::vector<ExperimentPoint> points;
   points.reserve(GridSize(spec));
@@ -136,21 +144,27 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
         for (const std::uint64_t dram : dram_sizes) {
           for (const std::uint64_t sram : sram_sizes) {
             for (const CleaningPolicy policy : policies) {
-              for (const std::uint64_t seed : seeds) {
-                for (std::size_t replica = 0; replica < replicas; ++replica) {
-                  ExperimentPoint point;
-                  point.index = points.size();
-                  point.workload = workload;
-                  point.scale = spec.scale;
-                  point.seed = ReplicaSeed(seed, replica);
-                  point.replica = replica;
-                  point.config = spec.base;
-                  point.config.device = device;
-                  point.config.flash_utilization = utilization;
-                  point.config.dram_bytes = dram;
-                  point.config.sram_bytes = sram;
-                  point.config.cleaning_policy = policy;
-                  points.push_back(std::move(point));
+              for (const double power_loss_sec : power_loss_intervals) {
+                for (const std::uint64_t seed : seeds) {
+                  for (std::size_t replica = 0; replica < replicas; ++replica) {
+                    ExperimentPoint point;
+                    point.index = points.size();
+                    point.workload = workload;
+                    point.scale = spec.scale;
+                    point.seed = ReplicaSeed(seed, replica);
+                    point.replica = replica;
+                    point.config = spec.base;
+                    point.config.device = device;
+                    point.config.flash_utilization = utilization;
+                    point.config.dram_bytes = dram;
+                    point.config.sram_bytes = sram;
+                    point.config.cleaning_policy = policy;
+                    point.config.fault.power_loss_interval_us = UsFromSec(power_loss_sec);
+                    if (export_fault) {
+                      point.config.fault.export_metrics = true;
+                    }
+                    points.push_back(std::move(point));
+                  }
                 }
               }
             }
@@ -227,6 +241,27 @@ bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
         return false;
       }
       spec->cleaning_policies.push_back(*policy);
+    }
+    return true;
+  }
+  if (key == "power_loss_intervals") {
+    spec->power_loss_intervals.clear();
+    for (const std::string& item : SplitList(value)) {
+      std::optional<double> v;
+      try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(item, &consumed);
+        if (consumed == item.size() && parsed >= 0.0) {
+          v = parsed;
+        }
+      } catch (...) {
+      }
+      if (!v) {
+        SetError(error,
+                 "bad power-loss interval '" + item + "' (want seconds >= 0)");
+        return false;
+      }
+      spec->power_loss_intervals.push_back(*v);
     }
     return true;
   }
@@ -308,6 +343,9 @@ std::string DescribeSpec(const ExperimentSpec& spec) {
       << DimSize(spec.dram_sizes) << " dram x " << DimSize(spec.sram_sizes)
       << " sram x " << DimSize(spec.cleaning_policies) << " policies x "
       << DimSize(spec.seeds) << " seeds";
+  if (!spec.power_loss_intervals.empty()) {
+    out << " x " << spec.power_loss_intervals.size() << " power-loss intervals";
+  }
   if (spec.replicas > 1) {
     out << " x " << spec.replicas << " replicas";
   }
@@ -410,6 +448,27 @@ std::string CanonicalSpecText(const ExperimentSpec& spec) {
       << "base.warm_fraction = " << CanonNumber(c.warm_fraction) << "\n"
       << "base.write_back_cache = " << (c.write_back_cache ? 1 : 0) << "\n"
       << "base.cache_sync_interval_us = " << c.cache_sync_interval_us << "\n";
+  // Fault block only when the spec actually uses faults, so the fingerprints
+  // of all pre-existing (fault-free) specs are unchanged.
+  if (c.fault.enabled() || !spec.power_loss_intervals.empty()) {
+    out << "power_loss_intervals =";
+    for (const double v : spec.power_loss_intervals) {
+      out << " " << CanonNumber(v);
+    }
+    out << "\n";
+    out << "base.fault.seed = " << c.fault.seed << "\n"
+        << "base.fault.power_loss_interval_us = " << c.fault.power_loss_interval_us
+        << "\n"
+        << "base.fault.transient_error_rate = " << CanonNumber(c.fault.transient_error_rate)
+        << "\n"
+        << "base.fault.bad_block_rate = " << CanonNumber(c.fault.bad_block_rate) << "\n"
+        << "base.fault.wear_out = " << (c.fault.wear_out ? 1 : 0) << "\n"
+        << "base.fault.endurance_scale = " << CanonNumber(c.fault.endurance_scale) << "\n"
+        << "base.fault.endurance_spread = " << CanonNumber(c.fault.endurance_spread)
+        << "\n"
+        << "base.fault.max_retries = " << c.fault.max_retries << "\n"
+        << "base.fault.retry_backoff_us = " << c.fault.retry_backoff_us << "\n";
+  }
   return out.str();
 }
 

@@ -12,6 +12,7 @@
 //   dram_sizes         DRAM buffer-cache sizes (k/m/g suffixes)
 //   sram_sizes         SRAM write-buffer sizes
 //   cleaning_policies  greedy | cost-benefit | wear-aware
+//   power_loss_intervals  mean seconds between power losses (0 = none)
 //   seeds              workload generator seeds (integers)
 //   scale              workload scale factor (single value, not swept)
 //   replicas           independent re-runs per point (seed-derived; default 1)
@@ -42,6 +43,7 @@ struct ExperimentSpec {
   std::vector<std::uint64_t> dram_sizes;
   std::vector<std::uint64_t> sram_sizes;
   std::vector<CleaningPolicy> cleaning_policies;
+  std::vector<double> power_loss_intervals;
   std::vector<std::uint64_t> seeds;
   double scale = 1.0;
   std::size_t replicas = 1;
@@ -68,8 +70,10 @@ std::uint64_t ReplicaSeed(std::uint64_t seed, std::size_t replica);
 std::size_t GridSize(const ExperimentSpec& spec);
 
 // Expands the cross product.  Enumeration order nests, outermost first:
-// device, workload, utilization, dram, sram, cleaning policy, seed — i.e.
-// the seed varies fastest.
+// device, workload, utilization, dram, sram, cleaning policy, power-loss
+// interval, seed — i.e. the seed varies fastest.  When any fault dimension
+// or base fault knob is active, every enumerated config exports fault
+// metrics so all rows in a sweep share one schema.
 std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec);
 
 // Applies one `key = value` line: sweep keys here, anything else delegated to

@@ -18,6 +18,10 @@ class ResultSink {
   virtual ~ResultSink() = default;
   virtual void Write(const ResultRow& row) = 0;
   virtual void Finish() {}
+  // Whether the sink can take `_error` rows from failed sweep points.  Such
+  // rows carry only the point metadata plus an `_error` message, so sinks
+  // with a rigid schema (CSV) opt out and the runner skips them.
+  virtual bool AcceptsErrorRows() const { return true; }
 };
 
 // One JSON object per line (JSONL / NDJSON).
@@ -47,6 +51,7 @@ class CsvResultSink : public ResultSink {
       : out_(out), default_header_(std::move(default_header)) {}
   void Write(const ResultRow& row) override;
   void Finish() override;
+  bool AcceptsErrorRows() const override { return false; }
 
  private:
   std::ostream& out_;

@@ -42,23 +42,35 @@ struct TraceKey {
   }
 };
 
+// A cached trace, or the reason it could not be generated.  A generation
+// failure fails only the points that need this trace, never the whole sweep.
+struct CachedTrace {
+  std::shared_ptr<const BlockTrace> trace;
+  std::string error;
+};
+
 // Generates each distinct trace once, in parallel; afterwards the map is
 // read-only and safe to share across workers.
-std::map<TraceKey, std::shared_ptr<const BlockTrace>> BuildTraceCache(
+std::map<TraceKey, CachedTrace> BuildTraceCache(
     const std::vector<ExperimentPoint>& points, ThreadPool* pool) {
-  std::map<TraceKey, std::shared_ptr<const BlockTrace>> cache;
+  std::map<TraceKey, CachedTrace> cache;
   for (const ExperimentPoint& point : points) {
-    cache.emplace(TraceKey{point.workload, point.scale, point.seed}, nullptr);
+    cache.emplace(TraceKey{point.workload, point.scale, point.seed}, CachedTrace{});
   }
-  std::vector<std::pair<const TraceKey, std::shared_ptr<const BlockTrace>>*> entries;
+  std::vector<std::pair<const TraceKey, CachedTrace>*> entries;
   entries.reserve(cache.size());
   for (auto& entry : cache) {
     entries.push_back(&entry);
   }
   ParallelFor(pool, entries.size(), [&entries](std::size_t i) {
     const TraceKey& key = entries[i]->first;
-    const Trace trace = GenerateNamedWorkload(key.workload, key.scale, key.seed);
-    entries[i]->second = std::make_shared<const BlockTrace>(BlockMapper::Map(trace));
+    try {
+      const Trace trace = GenerateNamedWorkload(key.workload, key.scale, key.seed);
+      entries[i]->second.trace =
+          std::make_shared<const BlockTrace>(BlockMapper::Map(trace));
+    } catch (const std::exception& e) {
+      entries[i]->second.error = e.what();
+    }
   });
   return cache;
 }
@@ -79,6 +91,12 @@ ResultRow PointToRow(const ExperimentPoint& point) {
   row.AddInt("capacity_bytes", point.config.capacity_bytes);
   row.AddInt("auto_capacity", point.config.auto_capacity ? 1 : 0);
   row.AddText("cleaning_policy", CleaningPolicyName(point.config.cleaning_policy));
+  // Fault dimensions join the metadata only on fault runs so fault-free
+  // sweeps keep their historical schema byte-for-byte.
+  if (point.config.fault.enabled() || point.config.fault.export_metrics) {
+    row.AddNumber("power_loss_interval_sec",
+                  SecFromUs(point.config.fault.power_loss_interval_us));
+  }
   return row;
 }
 
@@ -130,19 +148,38 @@ std::vector<SweepOutcome> RunSweep(const std::vector<ExperimentPoint>& points,
 
   auto run_point = [&](std::size_t i) {
     const ExperimentPoint point = AdjustForWorkload(points[i]);
-    const auto trace =
+    const CachedTrace& cached =
         traces.at(TraceKey{point.workload, point.scale, point.seed});
 
     SweepOutcome& outcome = outcomes[i];
     outcome.point = point;
-    outcome.result = RunSimulation(*trace, point.config);
-    outcome.row = MergePointAndResult(point, outcome.result);
+    // A failing point (trace generation or simulation) becomes an `_error`
+    // row instead of taking the whole sweep down with it.
+    if (cached.trace == nullptr) {
+      outcome.failed = true;
+      outcome.error = cached.error;
+    } else {
+      try {
+        outcome.result = RunSimulation(*cached.trace, point.config);
+        outcome.row = MergePointAndResult(point, outcome.result);
+      } catch (const std::exception& e) {
+        outcome.failed = true;
+        outcome.error = e.what();
+      }
+    }
+    if (outcome.failed) {
+      outcome.row = PointToRow(point);
+      outcome.row.AddText("_error", outcome.error);
+    }
 
     meter.Advance();
     std::lock_guard<std::mutex> lock(emit_mu);
     ready[i] = true;
     while (next_emit < points.size() && ready[next_emit]) {
       for (ResultSink* sink : options.sinks) {
+        if (outcomes[next_emit].failed && !sink->AcceptsErrorRows()) {
+          continue;
+        }
         sink->Write(outcomes[next_emit].row);
       }
       ++next_emit;

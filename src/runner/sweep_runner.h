@@ -35,6 +35,12 @@ struct SweepOutcome {
   SimResult result;
   // Config metadata + flattened result, exactly what the sinks received.
   ResultRow row;
+  // A point whose simulation (or trace generation) threw is marked failed
+  // rather than aborting the sweep: `row` then carries the point metadata
+  // plus an `_error` column with `error`, `result` is default-constructed,
+  // and sinks whose AcceptsErrorRows() is false never see the row.
+  bool failed = false;
+  std::string error;
 };
 
 // Metadata columns (point, workload, seed, replica, scale, device,

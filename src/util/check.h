@@ -1,20 +1,44 @@
 // Lightweight invariant checking for mobisim.
 //
 // MOBISIM_CHECK is always on (simulation correctness beats nanoseconds here);
-// MOBISIM_DCHECK compiles out in NDEBUG builds.  Failures print the condition
-// and location then abort, which is the right behaviour for a simulator: a
-// violated invariant means every number printed afterwards would be garbage.
+// MOBISIM_DCHECK compiles out in NDEBUG builds.  Failures throw SimError with
+// the condition and location: a violated invariant means every number the
+// affected simulation would print is garbage, but it must not take down an
+// entire multi-hour sweep.  Callers that genuinely cannot continue — test
+// binaries and CLI main()s — catch SimError at the top level and abort/exit
+// there instead.
 #ifndef MOBISIM_SRC_UTIL_CHECK_H_
 #define MOBISIM_SRC_UTIL_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace mobisim {
 
+// Thrown when a MOBISIM_CHECK invariant fails inside library code.  Carries
+// the failed condition text and source location so sweep runners can record
+// *which* invariant a failed point tripped.
+class SimError : public std::runtime_error {
+ public:
+  SimError(const char* cond, const char* file, int line)
+      : std::runtime_error(std::string("MOBISIM_CHECK failed: ") + cond + " at " +
+                           file + ":" + std::to_string(line)),
+        condition_(cond),
+        file_(file),
+        line_(line) {}
+
+  const char* condition() const { return condition_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+};
+
 [[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line) {
-  std::fprintf(stderr, "MOBISIM_CHECK failed: %s at %s:%d\n", cond, file, line);
-  std::abort();
+  throw SimError(cond, file, line);
 }
 
 }  // namespace mobisim
