@@ -2,14 +2,16 @@
 // vs LFS/eNVy-style cost-benefit) and prefill mixing (segregated cold data
 // vs pessimally interleaved), across storage utilizations.
 //
-// Usage: bench_ablation_cleaning [scale]
+// Every variant is a bundle of config flags, so the bench hands the engine
+// one hand-built point per (utilization, variant) pair; the trace is
+// generated locally only to fix the flash capacity.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/util/table.h"
@@ -17,23 +19,16 @@
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
-  std::printf("== Ablation: flash-card cleaning policy and cold-data mixing (scale %.2f) ==\n",
-              scale);
-  std::printf("(mac trace, Intel datasheet card)\n\n");
+struct Variant {
+  const char* label;
+  CleaningPolicy policy;
+  bool interleave;
+  bool background;
+  bool separate_cleaning;
+};
 
-  const Trace trace = GenerateNamedWorkload("mac", scale);
-  const BlockTrace blocks = BlockMapper::Map(trace);
-  const std::uint64_t capacity = RequiredCapacityBytes(blocks.total_bytes(), 0.40, 128 * 1024);
-
-  struct Variant {
-    const char* label;
-    CleaningPolicy policy;
-    bool interleave;
-    bool background;
-    bool separate_cleaning;
-  };
-  const std::vector<Variant> variants = {
+const std::vector<Variant>& Variants() {
+  static const std::vector<Variant> variants = {
       {"greedy / segregated / background", CleaningPolicy::kGreedy, false, true, false},
       {"cost-benefit / segregated / background", CleaningPolicy::kCostBenefit, false, true,
        false},
@@ -46,21 +41,47 @@ void Run(double scale) {
       {"greedy / interleaved + copy separation", CleaningPolicy::kGreedy, true, true, true},
       {"greedy / segregated / on-demand", CleaningPolicy::kGreedy, false, false, false},
   };
+  return variants;
+}
 
-  for (const double util : {0.80, 0.90, 0.95}) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
+  std::printf("== Ablation: flash-card cleaning policy and cold-data mixing (scale %.2f) ==\n",
+              scale);
+  std::printf("(mac trace, Intel datasheet card)\n\n");
+
+  const Trace trace = GenerateNamedWorkload("mac", scale);
+  const BlockTrace blocks = BlockMapper::Map(trace);
+  const std::uint64_t capacity = RequiredCapacityBytes(blocks.total_bytes(), 0.40, 128 * 1024);
+
+  const std::vector<double> utils = {0.80, 0.90, 0.95};
+  std::vector<ExperimentPoint> points;
+  for (const double util : utils) {
+    for (const Variant& variant : Variants()) {
+      ExperimentPoint point;
+      point.index = points.size();
+      point.workload = "mac";
+      point.scale = scale;
+      point.config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+      point.config.flash_utilization = util;
+      point.config.capacity_bytes = capacity;
+      point.config.auto_capacity = false;
+      point.config.cleaning_policy = variant.policy;
+      point.config.interleave_prefill = variant.interleave;
+      point.config.background_cleaning = variant.background;
+      point.config.separate_cleaning_segment = variant.separate_cleaning;
+      points.push_back(std::move(point));
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
+  std::size_t next = 0;
+  for (const double util : utils) {
     std::printf("-- utilization %.0f%% --\n", util * 100.0);
     TablePrinter table({"Variant", "Energy (J)", "Write Mean (ms)", "Write Max", "Erases",
                         "Blocks copied", "Max seg erases", "Erase sd"});
-    for (const Variant& variant : variants) {
-      SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
-      config.flash_utilization = util;
-      config.capacity_bytes = capacity;
-      config.auto_capacity = false;
-      config.cleaning_policy = variant.policy;
-      config.interleave_prefill = variant.interleave;
-      config.background_cleaning = variant.background;
-      config.separate_cleaning_segment = variant.separate_cleaning;
-      const SimResult result = RunSimulation(blocks, config);
+    for (const Variant& variant : Variants()) {
+      const SimResult& result = outcomes[next++].result;
       table.BeginRow()
           .Cell(std::string(variant.label))
           .Cell(result.total_energy_j(), 0)
@@ -76,11 +97,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(ablation_cleaning)({
+    .name = "ablation_cleaning",
+    .description = "Cleaning policy and cold-data mixing on the flash card",
+    .source = "ablation",
+    .dims = "utilization{80,90,95%} x variant{8 policy/mixing bundles}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

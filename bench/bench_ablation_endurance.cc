@@ -4,12 +4,12 @@
 // cleaning policies on total data written before the card dies and on how
 // much of the card is lost when it does.
 //
-// Usage: bench_ablation_endurance [endurance_cycles]
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "src/flash/segment_manager.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 
@@ -64,7 +64,8 @@ WearOutResult RunToDestruction(CleaningPolicy policy, double zipf_skew,
   return result;
 }
 
-void Run(std::uint32_t endurance) {
+void Run(BenchContext& ctx) {
+  const std::uint32_t endurance = static_cast<std::uint32_t>(ctx.param());
   std::printf("== Ablation: wear-out under an accelerated %u-cycle endurance limit ==\n",
               endurance);
   std::printf("(2-MB card, 64-KB segments, 60%% utilization; 'drive writes' = host data\n");
@@ -84,6 +85,16 @@ void Run(std::uint32_t endurance) {
           .Cell(static_cast<std::int64_t>(result.erases))
           .Cell(static_cast<std::int64_t>(result.copies))
           .Cell(static_cast<std::int64_t>(result.bad_segments));
+      ResultRow row;
+      row.AddText("policy", CleaningPolicyName(policy));
+      row.AddText("traffic", skew == 0.0 ? "uniform" : "zipf-1.2");
+      row.AddInt("endurance_cycles", static_cast<std::int64_t>(endurance));
+      row.AddNumber("drive_writes", result.drive_writes);
+      row.AddInt("host_blocks", static_cast<std::int64_t>(result.host_blocks_written));
+      row.AddInt("erases", static_cast<std::int64_t>(result.erases));
+      row.AddInt("copies", static_cast<std::int64_t>(result.copies));
+      row.AddInt("bad_segments", static_cast<std::int64_t>(result.bad_segments));
+      ctx.Emit(std::move(row));
     }
   }
   table.Print(std::cout);
@@ -91,12 +102,17 @@ void Run(std::uint32_t endurance) {
   std::printf("across segments), at the cost of extra copying while alive.\n");
 }
 
+REGISTER_BENCH(ablation_endurance)({
+    .name = "ablation_endurance",
+    .description = "Simulated wear-out to destruction by cleaning policy",
+    .source = "Section 5.2",
+    .dims = "traffic{uniform,zipf} x policy{greedy,cost-benefit,wear-aware}",
+    .uses_scale = false,
+    .default_param = 100,
+    .smoke_param = 60,
+    .param_help = "endurance cycles",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const std::uint32_t endurance =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 100;
-  mobisim::Run(endurance > 0 ? endurance : 100);
-  return 0;
-}

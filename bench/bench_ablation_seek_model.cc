@@ -7,38 +7,62 @@
 // measurement write gap to "our optimistic assumption about avoiding
 // seeks".  This bench quantifies how much the simplification matters.
 //
-// Usage: bench_ablation_seek_model [scale]
+// The timing model is a config flag, not a spec dimension, so the bench
+// runs hand-built points through the engine.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
 #include "src/device/geometric_disk.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+struct Drive {
+  DeviceSpec spec;
+  DiskGeometry geometry;
+};
+
+std::vector<Drive> Drives() {
+  return {Drive{Cu140Datasheet(), Cu140Geometry()},
+          Drive{KittyhawkDatasheet(), KittyhawkGeometry()}};
+}
+
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Ablation: average-cost vs geometry-based disk timing (scale %.2f) ==\n\n",
               scale);
 
-  for (const char* workload : {"mac", "dos", "hp"}) {
+  const std::vector<const char*> workloads = {"mac", "dos", "hp"};
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const Drive& drive : Drives()) {
+      for (const bool geometric : {false, true}) {
+        ExperimentPoint point;
+        point.index = points.size();
+        point.workload = workload;
+        point.scale = scale;
+        point.config = MakePaperConfig(drive.spec, 2 * 1024 * 1024);
+        point.config.use_disk_geometry = geometric;
+        point.config.disk_geometry = drive.geometry;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
+  std::size_t next = 0;
+  for (const char* workload : workloads) {
     std::printf("-- %s trace --\n", workload);
     TablePrinter table({"Drive", "Model", "Read Mean (ms)", "Read Max", "Write Mean (ms)",
                         "Energy (J)"});
-    struct Drive {
-      DeviceSpec spec;
-      DiskGeometry geometry;
-    };
-    for (const Drive& drive : {Drive{Cu140Datasheet(), Cu140Geometry()},
-                               Drive{KittyhawkDatasheet(), KittyhawkGeometry()}}) {
+    for (const Drive& drive : Drives()) {
       for (const bool geometric : {false, true}) {
-        SimConfig config = MakePaperConfig(drive.spec, 2 * 1024 * 1024);
-        config.use_disk_geometry = geometric;
-        config.disk_geometry = drive.geometry;
-        const SimResult result = RunNamedWorkload(workload, config, scale);
+        const SimResult& result = outcomes[next++].result;
         table.BeginRow()
             .Cell(drive.spec.name)
             .Cell(std::string(geometric ? "geometry" : "average"))
@@ -53,11 +77,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(ablation_seek_model)({
+    .name = "ablation_seek_model",
+    .description = "Average-cost vs geometry-based disk timing",
+    .source = "Sections 4.2/5.1",
+    .dims = "workload{mac,dos,hp} x drive{cu140,kh} x model{average,geometry}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

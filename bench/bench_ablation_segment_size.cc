@@ -7,14 +7,16 @@
 // likely grow in popularity".  This bench sweeps the segment size (with
 // erase time scaled to keep erase bandwidth constant) at two utilizations.
 //
-// Usage: bench_ablation_segment_size [scale]
+// The trace is generated locally only to fix the flash capacity; each point
+// names the same (workload, scale, seed) so the engine regenerates the
+// identical trace from its cache.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/util/table.h"
@@ -22,7 +24,8 @@
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Ablation: flash-card erase-segment size (mac trace, scale %.2f) ==\n", scale);
   std::printf("(erase time scaled with segment size: constant 80 KB/s erase bandwidth)\n\n");
 
@@ -30,22 +33,36 @@ void Run(double scale) {
   const BlockTrace blocks = BlockMapper::Map(trace);
 
   const std::vector<std::uint32_t> segment_kb = {8, 16, 32, 64, 128, 256};
-  for (const double util : {0.80, 0.95}) {
-    std::printf("-- utilization %.0f%% --\n", util * 100.0);
-    TablePrinter table({"Segment (KB)", "Energy (J)", "Write Mean (ms)", "Write Max",
-                        "Erases", "Blocks copied", "Stall time (s)"});
+  const std::vector<double> utils = {0.80, 0.95};
+  std::vector<ExperimentPoint> points;
+  for (const double util : utils) {
     for (const std::uint32_t seg_kb : segment_kb) {
       DeviceSpec spec = IntelCardDatasheet();
       spec.erase_segment_bytes = seg_kb * 1024;
       // Keep erase bandwidth at the Series 2's 128 KB / 1.6 s.
       spec.erase_ms_per_segment = 1600.0 * seg_kb / 128.0;
 
-      SimConfig config = MakePaperConfig(spec, 2 * 1024 * 1024);
-      config.flash_utilization = util;
-      config.capacity_bytes =
+      ExperimentPoint point;
+      point.index = points.size();
+      point.workload = "mac";
+      point.scale = scale;
+      point.config = MakePaperConfig(spec, 2 * 1024 * 1024);
+      point.config.flash_utilization = util;
+      point.config.capacity_bytes =
           RequiredCapacityBytes(blocks.total_bytes(), 0.40, 256 * 1024);
-      config.auto_capacity = false;
-      const SimResult result = RunSimulation(blocks, config);
+      point.config.auto_capacity = false;
+      points.push_back(std::move(point));
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
+  std::size_t next = 0;
+  for (const double util : utils) {
+    std::printf("-- utilization %.0f%% --\n", util * 100.0);
+    TablePrinter table({"Segment (KB)", "Energy (J)", "Write Mean (ms)", "Write Max",
+                        "Erases", "Blocks copied", "Stall time (s)"});
+    for (const std::uint32_t seg_kb : segment_kb) {
+      const SimResult& result = outcomes[next++].result;
       table.BeginRow()
           .Cell(static_cast<std::int64_t>(seg_kb))
           .Cell(result.total_energy_j(), 0)
@@ -60,11 +77,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(ablation_segment_size)({
+    .name = "ablation_segment_size",
+    .description = "Flash-card erase-segment size at constant erase bandwidth",
+    .source = "Section 7",
+    .dims = "utilization{80,95%} x segment{8..256KB} (mac trace)",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

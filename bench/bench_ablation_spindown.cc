@@ -5,31 +5,58 @@
 // bench regenerates that trade-off curve for the cu140 on each trace:
 // energy falls and response rises as the threshold shrinks.
 //
-// Usage: bench_ablation_spindown [scale]
+// The threshold and the adaptive policy are config fields, not spec
+// dimensions, so the bench runs hand-built points through the engine.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   const std::vector<double> thresholds_sec = {0.5, 1, 2, 5, 10, 30, 1e9};
+  const std::vector<const char*> workloads = {"mac", "dos", "hp"};
 
   std::printf("== Ablation: cu140 spin-down threshold (scale %.2f) ==\n\n", scale);
-  for (const char* workload : {"mac", "dos", "hp"}) {
+
+  // Per trace: one point per threshold, then the adaptive policy.
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const double threshold : thresholds_sec) {
+      ExperimentPoint point;
+      point.index = points.size();
+      point.workload = workload;
+      point.scale = scale;
+      point.config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
+      point.config.spin_down_after_us = UsFromSec(threshold);
+      points.push_back(std::move(point));
+    }
+    ExperimentPoint adaptive;
+    adaptive.index = points.size();
+    adaptive.workload = workload;
+    adaptive.scale = scale;
+    // The adaptive policy of the paper's reference [5]: starts at 5 s and
+    // floats between 0.5 s and 60 s based on sleep outcomes.
+    adaptive.config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
+    adaptive.config.spin_down_policy = SpinDownPolicy::kAdaptive;
+    points.push_back(std::move(adaptive));
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
+  std::size_t next = 0;
+  for (const char* workload : workloads) {
     std::printf("-- %s trace --\n", workload);
     TablePrinter table({"Threshold (s)", "Energy (J)", "Read Mean (ms)", "Write Mean (ms)",
                         "Spin-ups"});
     for (const double threshold : thresholds_sec) {
-      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
-      config.spin_down_after_us = UsFromSec(threshold);
-      const SimResult result = RunNamedWorkload(workload, config, scale);
+      const SimResult& result = outcomes[next++].result;
       table.BeginRow()
           .Cell(threshold >= 1e9 ? std::string("never") : TablePrinter::Format(threshold, 1))
           .Cell(result.total_energy_j(), 0)
@@ -38,11 +65,7 @@ void Run(double scale) {
           .Cell(static_cast<std::int64_t>(result.counters.spinups));
     }
     {
-      // The adaptive policy of the paper's reference [5]: starts at 5 s and
-      // floats between 0.5 s and 60 s based on sleep outcomes.
-      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
-      config.spin_down_policy = SpinDownPolicy::kAdaptive;
-      const SimResult result = RunNamedWorkload(workload, config, scale);
+      const SimResult& result = outcomes[next++].result;
       table.BeginRow()
           .Cell(std::string("adaptive"))
           .Cell(result.total_energy_j(), 0)
@@ -55,11 +78,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(ablation_spindown)({
+    .name = "ablation_spindown",
+    .description = "cu140 spin-down threshold trade-off curve",
+    .source = "ablation",
+    .dims = "workload{mac,dos,hp} x threshold{0.5s..never,adaptive}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

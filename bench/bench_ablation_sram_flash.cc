@@ -3,29 +3,48 @@
 // flash should dramatically improve performance, except in situations
 // where flash performance is dominated by cleaning costs."
 //
-// Usage: bench_ablation_sram_flash [scale]
+// MakePaperConfig zeroes SRAM for flash devices, so the SRAM axis must be
+// re-applied per point; the bench hands the engine hand-built points.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Extension: SRAM write buffer in front of flash (scale %.2f) ==\n\n", scale);
 
-  for (const char* workload : {"mac", "dos", "hp"}) {
+  const std::vector<const char*> workloads = {"mac", "dos", "hp"};
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const DeviceSpec& spec : {Sdp5Datasheet(), IntelCardDatasheet()}) {
+      for (const std::uint64_t sram : {std::uint64_t{0}, std::uint64_t{32 * 1024}}) {
+        ExperimentPoint point;
+        point.index = points.size();
+        point.workload = workload;
+        point.scale = scale;
+        point.config = MakePaperConfig(spec, 2 * 1024 * 1024);
+        point.config.sram_bytes = sram;  // MakePaperConfig zeroes SRAM for flash
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
+  std::size_t next = 0;
+  for (const char* workload : workloads) {
     std::printf("-- %s trace --\n", workload);
     TablePrinter table({"Device", "SRAM", "Write Mean (ms)", "Write Max", "Energy (J)"});
     for (const DeviceSpec& spec : {Sdp5Datasheet(), IntelCardDatasheet()}) {
       for (const std::uint64_t sram : {std::uint64_t{0}, std::uint64_t{32 * 1024}}) {
-        SimConfig config = MakePaperConfig(spec, 2 * 1024 * 1024);
-        config.sram_bytes = sram;  // MakePaperConfig zeroes SRAM for flash
-        const SimResult result = RunNamedWorkload(workload, config, scale);
+        const SimResult& result = outcomes[next++].result;
         table.BeginRow()
             .Cell(spec.name)
             .Cell(sram == 0 ? std::string("none") : std::string("32 KB"))
@@ -39,11 +58,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(ablation_sram_flash)({
+    .name = "ablation_sram_flash",
+    .description = "SRAM write buffer in front of the flash devices",
+    .source = "Sections 5.1/7",
+    .dims = "workload{mac,dos,hp} x device{SDP5,Intel} x sram{0,32K}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

@@ -6,33 +6,53 @@
 // that: device write traffic, segment erasures, energy, and response under
 // both policies, with a 30-s periodic sync in write-back mode.
 //
-// Usage: bench_ablation_writeback [scale]
+// The cache policy is a config flag, not a spec dimension, so the bench
+// runs hand-built points through the engine.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Ablation: write-through vs write-back DRAM cache (scale %.2f) ==\n", scale);
   std::printf("(2-MB DRAM; write-back syncs every 30 s; hp is omitted -- it has no\n");
   std::printf(" DRAM cache in the paper's methodology)\n\n");
 
-  for (const char* workload : {"mac", "dos"}) {
+  const std::vector<const char*> workloads = {"mac", "dos"};
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const DeviceSpec& spec :
+         {Cu140Datasheet(), Sdp5Datasheet(), IntelCardDatasheet()}) {
+      for (const bool write_back : {false, true}) {
+        ExperimentPoint point;
+        point.index = points.size();
+        point.workload = workload;
+        point.scale = scale;
+        point.config = MakePaperConfig(spec, 2 * 1024 * 1024);
+        point.config.write_back_cache = write_back;
+        points.push_back(std::move(point));
+      }
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
+  std::size_t next = 0;
+  for (const char* workload : workloads) {
     std::printf("-- %s trace --\n", workload);
     TablePrinter table({"Device", "Policy", "Device writes", "Bytes written (MB)",
                         "Erases", "Energy (J)", "Write Mean (ms)"});
     for (const DeviceSpec& spec :
          {Cu140Datasheet(), Sdp5Datasheet(), IntelCardDatasheet()}) {
       for (const bool write_back : {false, true}) {
-        SimConfig config = MakePaperConfig(spec, 2 * 1024 * 1024);
-        config.write_back_cache = write_back;
-        const SimResult result = RunNamedWorkload(workload, config, scale);
+        const SimResult& result = outcomes[next++].result;
         table.BeginRow()
             .Cell(spec.name)
             .Cell(std::string(write_back ? "write-back" : "write-through"))
@@ -48,11 +68,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(ablation_writeback)({
+    .name = "ablation_writeback",
+    .description = "Write-through vs write-back DRAM cache",
+    .source = "Section 4.2",
+    .dims = "workload{mac,dos} x device{3} x policy{through,back}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

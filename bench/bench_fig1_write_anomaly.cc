@@ -11,6 +11,7 @@
 #include "src/device/device_catalog.h"
 #include "src/mffs/microbench.h"
 #include "src/mffs/testbed_device.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/ascii_plot.h"
 #include "src/util/table.h"
 
@@ -55,7 +56,7 @@ std::vector<double> Smoothed(const std::vector<double>& latency_ms) {
   return points;
 }
 
-void Run() {
+void Run(BenchContext& ctx) {
   std::printf("== Figure 1: 4-KB writes to a 1-MB file ==\n");
   std::printf("(latency per op averaged over 32-KB windows; paper: Intel latency grows\n");
   std::printf(" linearly to ~300-400 ms while the disk and flash disk stay flat)\n\n");
@@ -129,12 +130,26 @@ void Run() {
   const double last = series[4].latency.back();
   std::printf("\nMFFS latency growth over the 1-MB file: %.1f ms -> %.1f ms (%.1fx)\n", first,
               last, last / first);
+
+  for (const Series& s : series) {
+    ResultRow row;
+    row.AddText("series", s.label);
+    row.AddNumber("first_latency_ms", s.latency.front());
+    row.AddNumber("last_latency_ms", s.latency.back());
+    row.AddNumber("first_throughput_kbps", s.throughput.front());
+    row.AddNumber("last_throughput_kbps", s.throughput.back());
+    ctx.Emit(std::move(row));
+  }
 }
+
+REGISTER_BENCH(fig1_write_anomaly)({
+    .name = "fig1_write_anomaly",
+    .description = "Write latency growth for 4-KB writes to a 1-MB file",
+    .source = "Figure 1",
+    .dims = "series{cu140,sdp10,Intel MFFS x compression} (testbed models)",
+    .uses_scale = false,
+    .run = Run,
+});
 
 }  // namespace
 }  // namespace mobisim
-
-int main() {
-  mobisim::Run();
-  return 0;
-}

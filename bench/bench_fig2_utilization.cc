@@ -9,20 +9,13 @@
 // paper's methodology.  The sweep itself runs on the src/runner engine: one
 // grid per trace, fanned across all cores, with identical results to the
 // old serial loops (per-point seeding is deterministic).
-//
-// Usage: bench_fig2_utilization [scale] [--jsonl FILE] [--serial]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
-#include "src/runner/result_sink.h"
-#include "src/runner/sweep_runner.h"
+#include "src/runner/bench_registry.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/util/ascii_plot.h"
@@ -31,7 +24,8 @@
 namespace mobisim {
 namespace {
 
-void Run(double scale, ResultSink* export_sink, std::size_t threads) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   const std::vector<double> utilizations = {0.40, 0.50, 0.60, 0.70, 0.80, 0.85, 0.90, 0.95};
 
   std::printf("== Figure 2: Intel flash card vs storage utilization (scale %.2f) ==\n", scale);
@@ -61,12 +55,7 @@ void Run(double scale, ResultSink* export_sink, std::size_t threads) {
     spec.utilizations = utilizations;
     spec.scale = scale;
 
-    SweepOptions options;
-    options.threads = threads;
-    if (export_sink != nullptr) {
-      options.sinks.push_back(export_sink);
-    }
-    const std::vector<SweepOutcome> outcomes = RunSweep(spec, options);
+    const std::vector<SweepOutcome> outcomes = ctx.RunGrid(spec);
 
     std::vector<double> xs;
     std::vector<double> energies;
@@ -115,32 +104,13 @@ void Run(double scale, ResultSink* export_sink, std::size_t threads) {
   write_plot.Render(std::cout);
 }
 
+REGISTER_BENCH(fig2_utilization)({
+    .name = "fig2_utilization",
+    .description = "Intel flash card energy/response vs storage utilization",
+    .source = "Figure 2",
+    .dims = "workload{mac,dos,hp} x utilization{40..95%}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  double scale = 1.0;
-  std::string jsonl_path;
-  std::size_t threads = 0;  // all cores
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
-      jsonl_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--serial") == 0) {
-      threads = 1;
-    } else {
-      scale = std::atof(argv[i]);
-    }
-  }
-  std::ofstream jsonl_file;
-  std::unique_ptr<mobisim::JsonlResultSink> sink;
-  if (!jsonl_path.empty()) {
-    jsonl_file.open(jsonl_path);
-    if (!jsonl_file) {
-      std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
-      return 1;
-    }
-    sink = std::make_unique<mobisim::JsonlResultSink>(jsonl_file);
-  }
-  mobisim::Run(scale > 0.0 ? scale : 1.0, sink.get(), threads);
-  return 0;
-}

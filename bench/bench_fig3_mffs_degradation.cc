@@ -11,6 +11,7 @@
 
 #include "src/mffs/microbench.h"
 #include "src/mffs/testbed_device.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/ascii_plot.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
@@ -22,7 +23,7 @@ constexpr std::uint32_t kChunk = 4 * 1024;
 constexpr std::uint64_t kMb = 1024 * 1024;
 constexpr std::uint32_t kPasses = 20;
 
-void Run() {
+void Run(BenchContext& ctx) {
   std::printf("== Figure 3: throughput of 20 x 1-MB random overwrites on a 10-MB card ==\n");
   std::printf("(paper: starts ~20-25 KB/s; drops with cumulative writes, and drops much\n");
   std::printf(" faster the more live data the card holds)\n\n");
@@ -73,12 +74,24 @@ void Run() {
   }
   std::printf("\n");
   plot.Render(std::cout);
+
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    ResultRow row;
+    row.AddText("live_data", configs[c].first);
+    row.AddNumber("first_pass_kbps", curves[c].front());
+    row.AddNumber("last_pass_kbps", curves[c].back());
+    ctx.Emit(std::move(row));
+  }
 }
+
+REGISTER_BENCH(fig3_mffs_degradation)({
+    .name = "fig3_mffs_degradation",
+    .description = "MFFS overwrite throughput vs live data and cumulative writes",
+    .source = "Figure 3",
+    .dims = "live{1,9,9.5MB} x pass{1..20} (testbed model)",
+    .uses_scale = false,
+    .run = Run,
+});
 
 }  // namespace
 }  // namespace mobisim
-
-int main() {
-  mobisim::Run();
-  return 0;
-}

@@ -9,20 +9,13 @@
 // list to the src/runner engine — the point-level API every custom grid can
 // use.  All points (both figures and the section 5.4 mac variant) run as one
 // parallel batch.
-//
-// Usage: bench_fig4_dram_flash [scale] [--jsonl FILE] [--serial]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
-#include "src/runner/result_sink.h"
-#include "src/runner/sweep_runner.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
@@ -49,7 +42,8 @@ void MakePoint(std::vector<ExperimentPoint>* points, const char* workload,
   points->push_back(point);
 }
 
-void Run(double scale, ResultSink* export_sink, std::size_t threads) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Figure 4: DRAM size vs flash size, dos trace (scale %.2f) ==\n", scale);
   std::printf("(paper: +1 MB flash on the Intel card cuts energy ~25%% and response ~18%%;\n");
   std::printf(" adding DRAM to the Intel card only adds energy; the SDP5 gains nothing\n");
@@ -83,12 +77,7 @@ void Run(double scale, ResultSink* export_sink, std::size_t threads) {
     }
   }
 
-  SweepOptions options;
-  options.threads = threads;
-  if (export_sink != nullptr) {
-    options.sinks.push_back(export_sink);
-  }
-  const std::vector<SweepOutcome> outcomes = RunSweep(points, options);
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
   std::size_t next = 0;
 
   TablePrinter energy({"Config", "DRAM 0", "DRAM 512K", "DRAM 1M", "DRAM 2M", "DRAM 3M",
@@ -141,32 +130,13 @@ void Run(double scale, ResultSink* export_sink, std::size_t threads) {
   mac_energy.Print(std::cout);
 }
 
+REGISTER_BENCH(fig4_dram_flash)({
+    .name = "fig4_dram_flash",
+    .description = "DRAM buffer-cache size vs flash size, dos trace",
+    .source = "Figure 4",
+    .dims = "device{Intel,SDP5} x flash{34..38MB} x dram{0..4M} (hand-built points)",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  double scale = 1.0;
-  std::string jsonl_path;
-  std::size_t threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
-      jsonl_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--serial") == 0) {
-      threads = 1;
-    } else {
-      scale = std::atof(argv[i]);
-    }
-  }
-  std::ofstream jsonl_file;
-  std::unique_ptr<mobisim::JsonlResultSink> sink;
-  if (!jsonl_path.empty()) {
-    jsonl_file.open(jsonl_path);
-    if (!jsonl_file) {
-      std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
-      return 1;
-    }
-    sink = std::make_unique<mobisim::JsonlResultSink>(jsonl_file);
-  }
-  mobisim::Run(scale > 0.0 ? scale : 1.0, sink.get(), threads);
-  return 0;
-}

@@ -6,26 +6,20 @@
 // The whole figure is one src/runner grid — workloads x SRAM sizes — run in
 // parallel; enumeration order (workload outer, SRAM inner) matches the table
 // layout, so outcomes are consumed sequentially.
-//
-// Usage: bench_fig5_sram [scale] [--jsonl FILE] [--serial]
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
-#include "src/runner/result_sink.h"
-#include "src/runner/sweep_runner.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(double scale, ResultSink* export_sink, std::size_t threads) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   const std::vector<std::uint64_t> sram_sizes = {0, 32 * 1024, 512 * 1024, 1024 * 1024};
 
   std::printf("== Figure 5: cu140 + SRAM write buffer (scale %.2f) ==\n", scale);
@@ -38,12 +32,7 @@ void Run(double scale, ResultSink* export_sink, std::size_t threads) {
   spec.sram_sizes = sram_sizes;
   spec.scale = scale;
 
-  SweepOptions options;
-  options.threads = threads;
-  if (export_sink != nullptr) {
-    options.sinks.push_back(export_sink);
-  }
-  const std::vector<SweepOutcome> outcomes = RunSweep(spec, options);
+  const std::vector<SweepOutcome> outcomes = ctx.RunGrid(spec);
 
   TablePrinter energy({"Trace", "SRAM 0", "32 KB", "512 KB", "1024 KB"});
   TablePrinter writes({"Trace", "SRAM 0", "32 KB", "512 KB", "1024 KB"});
@@ -76,32 +65,13 @@ void Run(double scale, ResultSink* export_sink, std::size_t threads) {
   writes_abs.Print(std::cout);
 }
 
+REGISTER_BENCH(fig5_sram)({
+    .name = "fig5_sram",
+    .description = "cu140 disk with battery-backed SRAM write buffer",
+    .source = "Figure 5",
+    .dims = "workload{mac,dos,hp} x sram{0,32K,512K,1M}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  double scale = 1.0;
-  std::string jsonl_path;
-  std::size_t threads = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
-      jsonl_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--serial") == 0) {
-      threads = 1;
-    } else {
-      scale = std::atof(argv[i]);
-    }
-  }
-  std::ofstream jsonl_file;
-  std::unique_ptr<mobisim::JsonlResultSink> sink;
-  if (!jsonl_path.empty()) {
-    jsonl_file.open(jsonl_path);
-    if (!jsonl_file) {
-      std::fprintf(stderr, "cannot open %s\n", jsonl_path.c_str());
-      return 1;
-    }
-    sink = std::make_unique<mobisim::JsonlResultSink>(jsonl_file);
-  }
-  mobisim::Run(scale > 0.0 ? scale : 1.0, sink.get(), threads);
-  return 0;
-}

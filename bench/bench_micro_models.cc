@@ -4,12 +4,16 @@
 // experiment should run in seconds.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "src/cache/buffer_cache.h"
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
 #include "src/device/flash_card.h"
 #include "src/device/magnetic_disk.h"
 #include "src/flash/segment_manager.h"
+#include "src/runner/bench_registry.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 
@@ -108,7 +112,34 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration);
 
+void Run(BenchContext& ctx) {
+  // Hand google-benchmark a synthetic argv; under --smoke the minimum
+  // measurement time shrinks so the whole suite finishes in a few seconds.
+  // The bare-double form parses on every library version (1.8+ also accepts
+  // a "0.05s" spelling, older ones only the number).
+  std::vector<std::string> args = {"mobisim_bench"};
+  if (ctx.smoke()) {
+    args.push_back("--benchmark_min_time=0.05");
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& arg : args) {
+    argv.push_back(arg.data());
+  }
+  int argc = static_cast<int>(argv.size());
+  benchmark::Initialize(&argc, argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+}
+
+REGISTER_BENCH(micro_models)({
+    .name = "micro_models",
+    .description = "google-benchmark timings of the simulator's hot paths",
+    .source = "performance",
+    .dims = "device ops, segment manager, cache, end-to-end runs",
+    .uses_scale = false,
+    .deterministic = false,
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-BENCHMARK_MAIN();

@@ -4,20 +4,22 @@
 // at 80% utilization and severe degradation beyond it; this bench
 // regenerates that curve for our model.
 //
-// Usage: bench_related_envy [transactions]
+// The eNVy store is not the trace-driven simulator, so the bench emits its
+// per-utilization rows by hand; the transaction count is the bench param.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "src/envy/envy_store.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(std::uint64_t transactions) {
+void Run(BenchContext& ctx) {
+  const std::uint64_t transactions = ctx.param();
   std::printf("== Related system: eNVy NVRAM+flash store, TPC-A-like load ==\n");
   std::printf("(%llu transactions per point; paper-cited result: ~45%% of time\n",
               static_cast<unsigned long long>(transactions));
@@ -48,16 +50,29 @@ void Run(std::uint64_t transactions) {
     if (util == 0.95 && tps50 > 0.0) {
       std::printf("95%% vs 50%% utilization: throughput x%.2f\n", store.tps() / tps50);
     }
+    ResultRow row;
+    row.AddNumber("utilization", util);
+    row.AddInt("transactions", static_cast<std::int64_t>(transactions));
+    row.AddNumber("tps", store.tps());
+    row.AddNumber("cleaning_time_fraction", store.cleaning_time_fraction());
+    row.AddInt("segment_erases", static_cast<std::int64_t>(store.segment_erases()));
+    row.AddInt("pages_copied", static_cast<std::int64_t>(store.pages_copied()));
+    ctx.Emit(std::move(row));
   }
   table.Print(std::cout);
 }
 
+REGISTER_BENCH(related_envy)({
+    .name = "related_envy",
+    .description = "eNVy NVRAM+flash store under a TPC-A-like load",
+    .source = "Section 6",
+    .dims = "utilization{50..95%}",
+    .uses_scale = false,
+    .default_param = 200000,
+    .smoke_param = 20000,
+    .param_help = "transactions per point",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const std::uint64_t transactions =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
-  mobisim::Run(transactions);
-  return 0;
-}

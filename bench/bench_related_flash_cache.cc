@@ -4,15 +4,18 @@
 // down; this bench sweeps the flash cache size and compares against the
 // plain disk and the all-flash organizations.
 //
-// Usage: bench_related_flash_cache [scale]
+// The disk baselines and the all-flash upper bound are plain simulator
+// configurations, so they run as one engine batch up front; the flash-cache
+// organizations use src/fcache directly and emit their rows by hand.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
 #include "src/fcache/flash_cache_system.h"
+#include "src/runner/bench_registry.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/util/table.h"
@@ -67,7 +70,8 @@ RunStats RunFlashCache(const BlockTrace& trace, std::uint64_t flash_bytes,
   return stats;
 }
 
-void Run(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Related system: flash as a disk-block cache (scale %.2f) ==\n", scale);
   std::printf("(expected: more flash cache => fewer disk spin-ups and less energy,\n");
   std::printf(" approaching the all-flash organizations)\n\n");
@@ -76,10 +80,37 @@ void Run(double scale) {
   // The architecture targets aggressive disk power management, where spin-up
   // cost dominates; run both the paper's 5-s threshold and a 1-s one.
   const std::vector<double> thresholds_sec = {5.0, 1.0};
+  const std::vector<const char*> workloads = {"synth", "mac", "hp"};
+
+  // Engine pre-pass: per (workload, threshold), the two disk baselines and
+  // the all-flash upper bound.  Consumed in enumeration order below.
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const double threshold_sec : thresholds_sec) {
+      for (const std::uint64_t sram : {std::uint64_t{0}, std::uint64_t{32 * 1024}}) {
+        ExperimentPoint point;
+        point.index = points.size();
+        point.workload = workload;
+        point.scale = scale;
+        point.config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024, sram);
+        point.config.spin_down_after_us = UsFromSec(threshold_sec);
+        points.push_back(std::move(point));
+      }
+      ExperimentPoint all_flash;
+      all_flash.index = points.size();
+      all_flash.workload = workload;
+      all_flash.scale = scale;
+      all_flash.config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
+      points.push_back(std::move(all_flash));
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+  std::size_t next = 0;
+
   // synth's 6-MB dataset fits entirely in the larger flash caches -- the
   // regime the architecture is designed for; mac and hp have working sets
   // far beyond any cache here, so compulsory misses keep the disk busy.
-  for (const char* workload : {"synth", "mac", "hp"}) {
+  for (const char* workload : workloads) {
     const Trace trace = GenerateNamedWorkload(workload, scale);
     const BlockTrace blocks = BlockMapper::Map(trace);
     for (const double threshold_sec : thresholds_sec) {
@@ -92,12 +123,7 @@ void Run(double scale) {
     // Baselines: plain disk without the SRAM buffer (the architecture Marsh
     // et al. compared against) and with it (the stronger alternative).
     for (const std::uint64_t sram : {std::uint64_t{0}, std::uint64_t{32 * 1024}}) {
-      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024, sram);
-      config.spin_down_after_us = spin_down_us;
-      if (std::string(workload) == "hp") {
-        config.dram_bytes = 0;
-      }
-      const SimResult result = RunSimulation(blocks, config);
+      const SimResult& result = outcomes[next++].result;
       table.BeginRow()
           .Cell(std::string(sram == 0 ? "disk alone (Marsh baseline)" : "disk + 32-KB SRAM"))
           .Cell(result.total_energy_j(), 0)
@@ -106,6 +132,7 @@ void Run(double scale) {
           .Cell(static_cast<std::int64_t>(result.counters.spinups))
           .Cell(std::string("-"));
     }
+    const SimResult& all_flash_result = outcomes[next++].result;
     const std::uint64_t dram_bytes =
         std::string(workload) == "hp" ? 0 : 2ull * 1024 * 1024;
     for (const std::uint64_t mb : sizes) {
@@ -121,14 +148,20 @@ void Run(double scale) {
           .Cell(stats.write_ms, 2)
           .Cell(static_cast<std::int64_t>(stats.spinups))
           .Cell(stats.flash_hit_rate, 2);
+      ResultRow row;
+      row.AddText("workload", workload);
+      row.AddNumber("spin_down_sec", threshold_sec);
+      row.AddInt("flash_cache_mb", static_cast<std::int64_t>(mb));
+      row.AddNumber("energy_j", stats.energy_j);
+      row.AddNumber("read_mean_ms", stats.read_ms);
+      row.AddNumber("write_mean_ms", stats.write_ms);
+      row.AddInt("spinups", static_cast<std::int64_t>(stats.spinups));
+      row.AddNumber("flash_hit_rate", stats.flash_hit_rate);
+      ctx.Emit(std::move(row));
     }
     // Upper bound: all-flash.
     {
-      SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
-      if (std::string(workload) == "hp") {
-        config.dram_bytes = 0;
-      }
-      const SimResult result = RunSimulation(blocks, config);
+      const SimResult& result = all_flash_result;
       table.BeginRow()
           .Cell(std::string("all-flash card"))
           .Cell(result.total_energy_j(), 0)
@@ -143,11 +176,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(related_flash_cache)({
+    .name = "related_flash_cache",
+    .description = "Flash memory as a cache for disk blocks (Marsh et al.)",
+    .source = "Section 6",
+    .dims = "workload{synth,mac,hp} x spin-down{5,1s} x cache{1..16MB}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

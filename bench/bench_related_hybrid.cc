@@ -6,15 +6,17 @@
 // flash card holding the hot files) on energy, response time, and 1994
 // dollars.
 //
-// Usage: bench_related_hybrid [scale]
+// The disk-only and flash-only rows are plain simulator configurations and
+// run as one engine batch up front; the hybrid organizations use
+// src/hybrid directly and emit their rows by hand.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
 #include "src/hybrid/hybrid_store.h"
+#include "src/runner/bench_registry.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/util/table.h"
@@ -65,12 +67,28 @@ RunStats RunHybrid(const BlockTrace& trace, std::uint64_t flash_bytes) {
                   store.flash_service_fraction(), store.promotions()};
 }
 
-void Run(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Hybrid disk+flash placement vs all-disk / all-flash ==\n");
   std::printf("(scale %.2f; 1994 prices: flash $%.0f/MB, disk $%.0f/MB; 40-MB store)\n\n",
               scale, kFlashDollarsPerMb, kDiskDollarsPerMb);
 
-  for (const char* workload : {"mac", "synth"}) {
+  const std::vector<const char*> workloads = {"mac", "synth"};
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const DeviceSpec& spec : {Cu140Datasheet(), IntelCardDatasheet()}) {
+      ExperimentPoint point;
+      point.index = points.size();
+      point.workload = workload;
+      point.scale = scale;
+      point.config = MakePaperConfig(spec, 2 * 1024 * 1024);
+      points.push_back(std::move(point));
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+  std::size_t next = 0;
+
+  for (const char* workload : workloads) {
     const Trace trace = GenerateNamedWorkload(workload, scale);
     const BlockTrace blocks = BlockMapper::Map(trace);
     const double store_mb = 40.0;
@@ -79,9 +97,10 @@ void Run(double scale) {
     TablePrinter table({"Organization", "1994 $", "Energy (J)", "Read Mean (ms)",
                         "Write Mean (ms)", "Flash svc frac", "Promotions"});
 
+    const SimResult& disk_result = outcomes[next++].result;
+    const SimResult& flash_result = outcomes[next++].result;
     {
-      SimConfig config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
-      const SimResult r = RunSimulation(blocks, config);
+      const SimResult& r = disk_result;
       table.BeginRow()
           .Cell(std::string("disk only (+SRAM)"))
           .Cell(StorageDollars(store_mb, 0), 0)
@@ -104,10 +123,19 @@ void Run(double scale) {
           .Cell(stats.write_ms, 2)
           .Cell(stats.flash_fraction, 2)
           .Cell(static_cast<std::int64_t>(stats.promotions));
+      ResultRow row;
+      row.AddText("workload", workload);
+      row.AddInt("flash_mb", static_cast<std::int64_t>(mb));
+      row.AddNumber("dollars_1994", StorageDollars(store_mb, static_cast<double>(mb)));
+      row.AddNumber("energy_j", stats.energy_j);
+      row.AddNumber("read_mean_ms", stats.read_ms);
+      row.AddNumber("write_mean_ms", stats.write_ms);
+      row.AddNumber("flash_service_fraction", stats.flash_fraction);
+      row.AddInt("promotions", static_cast<std::int64_t>(stats.promotions));
+      ctx.Emit(std::move(row));
     }
     {
-      SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
-      const SimResult r = RunSimulation(blocks, config);
+      const SimResult& r = flash_result;
       table.BeginRow()
           .Cell(std::string("flash only"))
           .Cell(StorageDollars(0, store_mb), 0)
@@ -122,11 +150,13 @@ void Run(double scale) {
   }
 }
 
+REGISTER_BENCH(related_hybrid)({
+    .name = "related_hybrid",
+    .description = "Hybrid disk+flash placement vs all-disk / all-flash",
+    .source = "Section 1/6",
+    .dims = "workload{mac,synth} x organization{disk,hybrid 2-8MB,flash}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

@@ -4,12 +4,12 @@
 // comparison: "Newer versions of the Microsoft Flash File System should
 // address the degradation imposed by large files."
 //
-// Usage: bench_related_lfs_ffs
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "src/mffs/lfs_ffs.h"
+#include "src/runner/bench_registry.h"
 #include "src/mffs/microbench.h"
 #include "src/mffs/testbed_device.h"
 #include "src/util/rng.h"
@@ -21,7 +21,7 @@ namespace {
 constexpr std::uint32_t kChunk = 4 * 1024;
 constexpr std::uint64_t kMb = 1024 * 1024;
 
-void Run() {
+void Run(BenchContext& ctx) {
   std::printf("== Related system: MFFS 2.00 vs log-structured flash FS ==\n\n");
 
   // Table-1-style throughput, random (incompressible) data.
@@ -46,6 +46,13 @@ void Run() {
           .Cell(r1m, 0)
           .Cell(w4, 0)
           .Cell(w1m, 0);
+      ResultRow row;
+      row.AddText("file_system", device->name());
+      row.AddNumber("read_4kb_kbps", r4);
+      row.AddNumber("read_1mb_kbps", r1m);
+      row.AddNumber("write_4kb_kbps", w4);
+      row.AddNumber("write_1mb_kbps", w1m);
+      ctx.Emit(std::move(row));
     }
     std::printf("-- Table-1-style throughput (KB/s, incompressible data) --\n");
     table.Print(std::cout);
@@ -97,10 +104,14 @@ void Run() {
   }
 }
 
+REGISTER_BENCH(related_lfs_ffs)({
+    .name = "related_lfs_ffs",
+    .description = "MFFS 2.00 vs log-structured flash FS on the microbenchmarks",
+    .source = "Section 6",
+    .dims = "file_system{MFFS,LFS-FFS} x microbench{throughput,latency,overwrite}",
+    .uses_scale = false,
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main() {
-  mobisim::Run();
-  return 0;
-}

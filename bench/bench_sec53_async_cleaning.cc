@@ -3,33 +3,48 @@
 // average write time by 56-61% across the traces (a ~2.5x improvement) with
 // minimal impact on energy.
 //
-// Usage: bench_sec53_async_cleaning [scale]
+// The erasure mode is a config flag, not a spec dimension, so the bench
+// builds one point per (trace, mode) pair and runs the batch through the
+// engine's point API.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Section 5.3: SDP5A asynchronous vs on-demand erasure (scale %.2f) ==\n",
               scale);
   std::printf("(paper: write response improves 56-61%%; energy essentially unchanged)\n\n");
 
+  const std::vector<const char*> workloads = {"mac", "dos", "hp"};
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const bool async : {false, true}) {
+      ExperimentPoint point;
+      point.index = points.size();
+      point.workload = workload;
+      point.scale = scale;
+      point.config = MakePaperConfig(Sdp5aDatasheet(), 2 * 1024 * 1024);
+      point.config.flash_async_erasure = async;
+      points.push_back(std::move(point));
+    }
+  }
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
   TablePrinter table({"Trace", "Sync write mean (ms)", "Async write mean (ms)",
                       "Improvement (%)", "Sync energy (J)", "Async energy (J)"});
-  for (const char* workload : {"mac", "dos", "hp"}) {
-    SimConfig sync_config = MakePaperConfig(Sdp5aDatasheet(), 2 * 1024 * 1024);
-    sync_config.flash_async_erasure = false;
-    SimConfig async_config = MakePaperConfig(Sdp5aDatasheet(), 2 * 1024 * 1024);
-    async_config.flash_async_erasure = true;
-
-    const SimResult sync_result = RunNamedWorkload(workload, sync_config, scale);
-    const SimResult async_result = RunNamedWorkload(workload, async_config, scale);
+  std::size_t next = 0;
+  for (const char* workload : workloads) {
+    const SimResult& sync_result = outcomes[next++].result;
+    const SimResult& async_result = outcomes[next++].result;
     const double sync_ms = sync_result.write_response_ms.mean();
     const double async_ms = async_result.write_response_ms.mean();
     table.BeginRow()
@@ -43,11 +58,13 @@ void Run(double scale) {
   table.Print(std::cout);
 }
 
+REGISTER_BENCH(sec53_async_cleaning)({
+    .name = "sec53_async_cleaning",
+    .description = "SDP5A asynchronous vs on-demand segment erasure",
+    .source = "Section 5.3",
+    .dims = "workload{mac,dos,hp} x erasure{sync,async}",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::Run(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

@@ -3,23 +3,26 @@
 // comparisons across independent workload seeds and reports mean +/- stddev,
 // demonstrating that the reproduced orderings are not seed artifacts.
 //
-// Usage: bench_seed_sensitivity [seeds] [scale]
+// One engine batch per trace — seed outer, device inner, matching the
+// legacy aggregation order — and the per-seed ordering check reuses the
+// same outcomes instead of re-running the simulations.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
-#include "src/trace/block_mapper.h"
-#include "src/trace/calibrated_workload.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void Run(int seeds, double scale) {
+void Run(BenchContext& ctx) {
+  const int seeds = static_cast<int>(ctx.param());
+  const double scale = ctx.scale();
   std::printf("== Seed sensitivity: headline metrics across %d workload seeds ==\n\n", seeds);
 
   for (const char* workload : {"mac", "hp"}) {
@@ -33,15 +36,24 @@ void Run(int seeds, double scale) {
                                        IntelCardDatasheet()};
     std::vector<Agg> aggregates(devices.size());
 
+    std::vector<ExperimentPoint> points;
     for (int seed = 1; seed <= seeds; ++seed) {
-      const Trace trace = GenerateNamedWorkload(workload, scale, static_cast<std::uint64_t>(seed));
-      const BlockTrace blocks = BlockMapper::Map(trace);
       for (std::size_t d = 0; d < devices.size(); ++d) {
-        SimConfig config = MakePaperConfig(devices[d], 2 * 1024 * 1024);
-        if (std::string(workload) == "hp") {
-          config.dram_bytes = 0;
-        }
-        const SimResult result = RunSimulation(blocks, config);
+        ExperimentPoint point;
+        point.index = points.size();
+        point.workload = workload;
+        point.scale = scale;
+        point.seed = static_cast<std::uint64_t>(seed);
+        point.config = MakePaperConfig(devices[d], 2 * 1024 * 1024);
+        points.push_back(std::move(point));
+      }
+    }
+    const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+
+    std::size_t next = 0;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      for (std::size_t d = 0; d < devices.size(); ++d) {
+        const SimResult& result = outcomes[next++].result;
         aggregates[d].energy.Add(result.total_energy_j());
         aggregates[d].read_ms.Add(result.read_response_ms.mean());
         aggregates[d].write_ms.Add(result.write_response_ms.mean());
@@ -60,18 +72,12 @@ void Run(int seeds, double scale) {
     table.Print(std::cout);
 
     // The headline ordering must hold for every seed, not just on average.
+    // Devices 0 and 2 of each seed's batch are the cu140 and the Intel card.
     bool ordering_held = true;
     for (int seed = 1; seed <= seeds; ++seed) {
-      const Trace trace = GenerateNamedWorkload(workload, scale, static_cast<std::uint64_t>(seed));
-      const BlockTrace blocks = BlockMapper::Map(trace);
-      SimConfig disk_config = MakePaperConfig(Cu140Datasheet(), 2 * 1024 * 1024);
-      SimConfig card_config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
-      if (std::string(workload) == "hp") {
-        disk_config.dram_bytes = 0;
-        card_config.dram_bytes = 0;
-      }
-      const double disk_j = RunSimulation(blocks, disk_config).total_energy_j();
-      const double card_j = RunSimulation(blocks, card_config).total_energy_j();
+      const std::size_t base = static_cast<std::size_t>(seed - 1) * devices.size();
+      const double disk_j = outcomes[base + 0].result.total_energy_j();
+      const double card_j = outcomes[base + 2].result.total_energy_j();
       ordering_held &= card_j < disk_j / 2.0;
     }
     std::printf("flash-card energy < half of disk energy on every seed: %s\n\n",
@@ -79,12 +85,18 @@ void Run(int seeds, double scale) {
   }
 }
 
+REGISTER_BENCH(seed_sensitivity)({
+    .name = "seed_sensitivity",
+    .description = "Headline Table-4 metrics across independent workload seeds",
+    .source = "robustness",
+    .dims = "workload{mac,hp} x device{3} x seed{1..N}",
+    .default_scale = 0.3,
+    .smoke_scale = 0.1,
+    .default_param = 5,
+    .smoke_param = 2,
+    .param_help = "workload seeds",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const int seeds = argc > 1 ? std::atoi(argv[1]) : 5;
-  const double scale = argc > 2 ? std::atof(argv[2]) : 0.3;
-  mobisim::Run(seeds > 0 ? seeds : 5, scale > 0.0 ? scale : 0.3);
-  return 0;
-}

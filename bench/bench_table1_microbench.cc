@@ -8,11 +8,12 @@
 // linearly-degrading writes.
 #include <cstdio>
 #include <iostream>
-#include <memory>
+#include <string>
 
 #include "src/device/device_catalog.h"
 #include "src/mffs/microbench.h"
 #include "src/mffs/testbed_device.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
@@ -64,7 +65,7 @@ Cell Measure(TestbedDevice& device, double data_ratio) {
   return cell;
 }
 
-void PrintTable() {
+void Run(BenchContext& ctx) {
   std::printf("== Table 1: measured throughput (KB/s) on the testbed models ==\n");
   std::printf("Paper: cu140 R 116/543 W 76/231 | compressed R 64/543 W 289/146\n");
   std::printf("       sdp10 R 280/410 W 39/40  | compressed R 218/246 W 225/35\n");
@@ -103,14 +104,26 @@ void PrintTable() {
         .Cell(cell.read_large, 0)
         .Cell(cell.write_small, 0)
         .Cell(cell.write_large, 0);
+    ResultRow out;
+    out.AddText("device", row.label);
+    out.AddText("mode", row.mode);
+    out.AddNumber("read_4kb_kbps", cell.read_small);
+    out.AddNumber("read_1mb_kbps", cell.read_large);
+    out.AddNumber("write_4kb_kbps", cell.write_small);
+    out.AddNumber("write_1mb_kbps", cell.write_large);
+    ctx.Emit(std::move(out));
   }
   table.Print(std::cout);
 }
 
+REGISTER_BENCH(table1_microbench)({
+    .name = "table1_microbench",
+    .description = "Measured throughput on the section-3 testbed models",
+    .source = "Table 1",
+    .dims = "device{cu140,sdp10,Intel MFFS} x compression x file size",
+    .uses_scale = false,
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main() {
-  mobisim::PrintTable();
-  return 0;
-}

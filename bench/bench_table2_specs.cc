@@ -4,12 +4,13 @@
 #include <iostream>
 
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
 namespace {
 
-void PrintSpecs() {
+void Run(BenchContext& ctx) {
   std::printf("== Table 2: manufacturers' specifications ==\n");
   TablePrinter table({"Device", "Operation", "Latency (ms)", "Throughput (KB/s)", "Power (W)"});
 
@@ -53,14 +54,26 @@ void PrintSpecs() {
         .Cell(spec.erase_kbps, 0)
         .Cell(spec.pre_erased_write_kbps, 0)
         .Cell(static_cast<std::int64_t>(spec.endurance_cycles));
+    ResultRow row;
+    row.AddText("device", spec.name);
+    row.AddNumber("read_kbps", spec.read_kbps);
+    row.AddNumber("write_kbps", spec.write_kbps);
+    row.AddNumber("erase_kbps", spec.erase_kbps);
+    row.AddNumber("pre_erased_write_kbps", spec.pre_erased_write_kbps);
+    row.AddInt("endurance_cycles", static_cast<std::int64_t>(spec.endurance_cycles));
+    ctx.Emit(std::move(row));
   }
   extra.Print(std::cout);
 }
 
+REGISTER_BENCH(table2_specs)({
+    .name = "table2_specs",
+    .description = "Manufacturers' specifications from the device catalog",
+    .source = "Table 2",
+    .dims = "device catalog dump (no simulation)",
+    .uses_scale = false,
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main() {
-  mobisim::PrintSpecs();
-  return 0;
-}

@@ -2,11 +2,10 @@
 // mac, dos, and hp traces.  Statistics are computed over the 90% of each
 // trace simulated after the warm start, as in the paper.
 //
-// Usage: bench_table3_traces [scale]
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 
+#include "src/runner/bench_registry.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/trace/trace_stats.h"
 #include "src/util/table.h"
@@ -14,7 +13,8 @@
 namespace mobisim {
 namespace {
 
-void PrintTable(double scale) {
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Table 3: trace characteristics (scale %.2f) ==\n", scale);
   std::printf("Paper targets: mac 12600s/22000KB/0.50/1KB/1.3/1.2/(0.078,90.8,0.57)\n");
   std::printf("               dos  5400s/16300KB/0.24/.5KB/3.8/3.4/(0.528,713,10.8)\n");
@@ -37,15 +37,27 @@ void PrintTable(double scale) {
         .Cell(stats.interarrival_sec.mean(), 3)
         .Cell(stats.interarrival_sec.max(), 1)
         .Cell(stats.interarrival_sec.stddev(), 2);
+    ResultRow row;
+    row.AddText("workload", name);
+    row.AddNumber("scale", scale);
+    row.AddNumber("duration_sec", stats.duration_sec);
+    row.AddInt("distinct_kbytes", static_cast<std::int64_t>(stats.distinct_kbytes));
+    row.AddNumber("read_fraction", stats.read_fraction);
+    row.AddNumber("read_blocks_mean", stats.read_blocks.mean());
+    row.AddNumber("write_blocks_mean", stats.write_blocks.mean());
+    row.AddNumber("gap_mean_sec", stats.interarrival_sec.mean());
+    ctx.Emit(std::move(row));
   }
   table.Print(std::cout);
 }
 
+REGISTER_BENCH(table3_traces)({
+    .name = "table3_traces",
+    .description = "Characteristics of the synthetic trace stand-ins",
+    .source = "Table 3",
+    .dims = "workload{mac,dos,hp} (trace statistics, no simulation)",
+    .run = Run,
+});
+
 }  // namespace
 }  // namespace mobisim
-
-int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  mobisim::PrintTable(scale > 0.0 ? scale : 1.0);
-  return 0;
-}

@@ -6,16 +6,18 @@
 // for hp; disks spin down after 5 s of inactivity and carry a 32-Kbyte SRAM
 // write buffer; flash simulations run at 80% storage utilization.
 //
-// Usage: bench_table4_devices [scale]
-//   scale in (0, 1] shrinks the workloads for quick runs (default 1.0).
+// The device axis is not a uniform spec dimension here (each row gets its
+// own MakePaperConfig), so the bench hands the engine one flat batch of
+// hand-built points — workload outer, device inner — and consumes the
+// outcomes in that order.
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/core/simulator.h"
 #include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
 #include "src/util/table.h"
 
 namespace mobisim {
@@ -38,7 +40,8 @@ std::vector<Row> Table4Devices() {
   };
 }
 
-void RunTrace(const std::string& workload, double scale) {
+void PrintTrace(const std::string& workload, const std::vector<SweepOutcome>& outcomes,
+                std::size_t* next) {
   std::printf("\nTable 4 (%s trace)%s\n", workload.c_str(),
               workload == "hp" ? "  [no DRAM cache]" : "  [2-Mbyte DRAM cache]");
   TablePrinter table({"Device", "Energy (J)", "Read Mean (ms)", "Read Max", "Read sd",
@@ -46,8 +49,7 @@ void RunTrace(const std::string& workload, double scale) {
   TablePrinter percentiles({"Device", "Read p50", "Read p95", "Read p99", "Write p50",
                             "Write p95", "Write p99"});
   for (const Row& row : Table4Devices()) {
-    SimConfig config = MakePaperConfig(row.spec, 2 * 1024 * 1024);
-    const SimResult result = RunNamedWorkload(workload, config, scale);
+    const SimResult& result = outcomes[(*next)++].result;
     table.BeginRow()
         .Cell(std::string(row.label))
         .Cell(result.total_energy_j(), 0)
@@ -71,22 +73,36 @@ void RunTrace(const std::string& workload, double scale) {
   percentiles.Print(std::cout);
 }
 
-}  // namespace
-}  // namespace mobisim
-
-int main(int argc, char** argv) {
-  double scale = 1.0;
-  if (argc > 1) {
-    scale = std::atof(argv[1]);
-    if (scale <= 0.0 || scale > 1.0) {
-      std::fprintf(stderr, "scale must be in (0, 1]\n");
-      return 1;
-    }
-  }
+void Run(BenchContext& ctx) {
+  const double scale = ctx.scale();
   std::printf("== Table 4: energy and response time by device and trace (scale %.2f) ==\n",
               scale);
-  for (const char* workload : {"mac", "dos", "hp"}) {
-    mobisim::RunTrace(workload, scale);
+  const std::vector<const char*> workloads = {"mac", "dos", "hp"};
+  std::vector<ExperimentPoint> points;
+  for (const char* workload : workloads) {
+    for (const Row& row : Table4Devices()) {
+      ExperimentPoint point;
+      point.index = points.size();
+      point.workload = workload;
+      point.scale = scale;
+      point.config = MakePaperConfig(row.spec, 2 * 1024 * 1024);
+      points.push_back(std::move(point));
+    }
   }
-  return 0;
+  const std::vector<SweepOutcome> outcomes = ctx.RunPoints(std::move(points));
+  std::size_t next = 0;
+  for (const char* workload : workloads) {
+    PrintTrace(workload, outcomes, &next);
+  }
 }
+
+REGISTER_BENCH(table4_devices)({
+    .name = "table4_devices",
+    .description = "Energy and response time by device and trace",
+    .source = "Table 4",
+    .dims = "workload{mac,dos,hp} x device{7 configurations}",
+    .run = Run,
+});
+
+}  // namespace
+}  // namespace mobisim

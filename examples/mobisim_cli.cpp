@@ -2,12 +2,18 @@
 // workload (generated or loaded from a trace file) and print the results.
 //
 //   mobisim_cli [--config FILE] [key=value ...] [--workload NAME|--trace FILE]
-//               [--scale S] [--seed N] [--csv]
+//               [--scale S] [common flags]
 //
 // key=value settings are the ones documented in src/core/config_text.h, e.g.
 //   mobisim_cli device=intel-datasheet utilization=0.95 --workload mac
 //   mobisim_cli device=cu140-datasheet sram=32k spin_down=2 --workload hp
 //   mobisim_cli --config experiment.cfg --trace /tmp/mytrace.trc
+//
+// The common flags (src/runner/cli_options.h) add structured export on top
+// of the human-readable table: --jsonl FILE|- and --csv FILE|- write the
+// run as sweep-schema rows, --seed N picks the workload-generator seed,
+// and --replicas N exports N independently seeded re-runs (the table shows
+// the first); --db/--name/--sha land the rows in a bench_db store.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -17,8 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "src/bench_db/bench_db.h"
 #include "src/core/config_text.h"
 #include "src/core/simulator.h"
+#include "src/runner/cli_options.h"
+#include "src/runner/experiment_spec.h"
+#include "src/runner/sweep_runner.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/trace/external_formats.h"
@@ -34,25 +44,29 @@ int Usage() {
                "usage: mobisim_cli [--config FILE] [key=value ...]\n"
                "                   [--workload mac|dos|hp|synth | --trace FILE\n"
                "                    | --hpl-trace FILE | --disksim-trace FILE]\n"
-               "                   [--scale S] [--seed N] [--csv]\n");
+               "                   [--scale S] [common flags]\n"
+               "%s",
+               CommonFlagsUsage());
   return 2;
 }
 
-}  // namespace
-
-namespace {
-
 int RunMain(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  CliOptions common;
+  std::string error;
+  if (!ExtractCommonFlags(&args, &common, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
+
   SimConfig config = MakePaperConfig(IntelCardDatasheet(), 2 * 1024 * 1024);
   std::string workload = "mac";
   std::string trace_path;
   std::string hpl_path;
   std::string disksim_path;
   double scale = 1.0;
-  std::uint64_t seed = 1;  // GenerateNamedWorkload's default
-  bool csv = false;
+  const std::uint64_t seed = common.seed.value_or(1);  // generator's default
 
-  std::vector<std::string> args(argv + 1, argv + argc);
   // First: --config files (applied in order), then key=value overrides.
   std::vector<std::string> remaining;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -67,7 +81,6 @@ int RunMain(int argc, char** argv) {
       }
       std::stringstream buffer;
       buffer << in.rdbuf();
-      std::string error;
       const auto parsed = ParseConfigText(buffer.str(), &error);
       if (!parsed) {
         std::fprintf(stderr, "config error: %s\n", error.c_str());
@@ -99,18 +112,10 @@ int RunMain(int argc, char** argv) {
         return Usage();
       }
       scale = std::atof(args[++i].c_str());
-    } else if (args[i] == "--seed") {
-      if (i + 1 >= args.size()) {
-        return Usage();
-      }
-      seed = static_cast<std::uint64_t>(std::strtoull(args[++i].c_str(), nullptr, 10));
-    } else if (args[i] == "--csv") {
-      csv = true;
     } else {
       remaining.push_back(args[i]);
     }
   }
-  std::string error;
   const std::vector<std::string> unknown = ApplyConfigArgs(&config, remaining, &error);
   if (!error.empty()) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -118,6 +123,14 @@ int RunMain(int argc, char** argv) {
   }
   for (const std::string& token : unknown) {
     std::fprintf(stderr, "error: unrecognised argument '%s'\n", token.c_str());
+    return Usage();
+  }
+
+  const bool generated = hpl_path.empty() && disksim_path.empty() && trace_path.empty();
+  const std::size_t replicas = common.replicas.value_or(1);
+  if (replicas > 1 && !generated) {
+    std::fprintf(stderr,
+                 "error: --replicas needs a generated workload (file traces are fixed)\n");
     return Usage();
   }
 
@@ -195,12 +208,67 @@ int RunMain(int argc, char** argv) {
   for (const auto& [mode, seconds] : result.device_mode_seconds) {
     table.BeginRow().Cell("device " + mode + " (s)").Cell(seconds, 1);
   }
-  if (csv) {
-    table.PrintCsv(std::cout);
-  } else {
-    table.Print(std::cout);
-  }
+  table.Print(std::cout);
   std::printf("device energy: %s\n", result.device_energy_breakdown.c_str());
+
+  if (!common.wants_export()) {
+    return 0;
+  }
+
+  // Structured export: the run as sweep-schema rows, one per replica
+  // (replica 0 is the run the table above shows).
+  RunMeta meta;
+  meta.spec_name = common.db_name.empty() ? "cli" : common.db_name;
+  meta.spec_hash = DescribeConfig(config);
+  meta.git_sha = common.git_sha;
+  meta.created = NowUtc();
+  meta.host = HostName();
+  meta.points = replicas;
+
+  SinkSet sinks;
+  if (!sinks.Open(common, meta, SweepCsvHeader(), &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<ResultRow> rows;
+  for (std::size_t replica = 0; replica < replicas; ++replica) {
+    ExperimentPoint point;
+    point.index = replica;
+    point.workload = generated ? workload
+                               : (trace_path.empty()
+                                      ? (hpl_path.empty() ? disksim_path : hpl_path)
+                                      : trace_path);
+    point.scale = scale;
+    point.seed = ReplicaSeed(seed, replica);
+    point.replica = replica;
+    point.config = config;
+    SimResult replica_result;
+    if (replica == 0) {
+      replica_result = result;  // reuse the run the table reported
+    } else {
+      const Trace trace = GenerateNamedWorkload(workload, scale, point.seed);
+      replica_result = RunSimulation(BlockMapper::Map(trace), config);
+    }
+    ResultRow row = MergePointAndResult(point, replica_result);
+    for (ResultSink* sink : sinks.sinks()) {
+      sink->Write(row);
+    }
+    rows.push_back(std::move(row));
+  }
+  sinks.Finish();
+
+  if (!common.db_root.empty()) {
+    BenchDb db(common.db_root);
+    const auto stored = db.StoreRun(meta, rows, &error);
+    if (!stored) {
+      std::fprintf(stderr, "error storing run: %s\n", error.c_str());
+      return 1;
+    }
+    if (!common.quiet) {
+      std::fprintf(stderr, "mobisim_cli: stored %s\n", stored->c_str());
+    }
+  }
   return 0;
 }
 

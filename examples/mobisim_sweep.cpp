@@ -2,9 +2,9 @@
 // flash utilization, DRAM/SRAM sizes, cleaning policies and seeds, fan it
 // out across cores, and export one structured row per point.
 //
-//   mobisim_sweep [--spec FILE] [key=value ...] [--jobs N] [--serial]
-//                 [--jsonl FILE|-] [--csv FILE|-] [--list] [--quiet]
-//                 [--shard K/N] [--db DIR --name NAME [--sha SHA]]
+//   mobisim_sweep [--spec FILE] [key=value ...] [--list] [--shard K/N]
+//                 [common flags: --jobs/--serial --seed --replicas
+//                  --jsonl --csv --db/--name/--sha --quiet]
 //
 // key=value tokens use the spec syntax of src/runner/experiment_spec.h
 // (sweep lists like `workloads=mac,dos` plus every base-config key from
@@ -22,26 +22,26 @@
 // --shard K/N keeps only points with index % N == K (indices stay global, so
 // shards from different machines merge by concatenating their JSONL).
 //
+// --list prints the enumerated grid without running it, then the registered
+// benches of the canned paper experiments (run those with `mobisim_bench`).
+//
 // --db lands the run in a bench_db result store as
 // <DIR>/<sha>/<NAME>.jsonl with a metadata header (spec fingerprint, date,
-// host) and a manifest entry; --sha defaults to $GITHUB_SHA, then
-// $MOBISIM_GIT_SHA, then "local".  JSONL output (--jsonl and --db files)
+// host) and a manifest entry.  JSONL output (--jsonl and --db files)
 // starts with the same metadata header line; readers recognise it by its
 // leading "_meta" key.
-#include <ctime>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include <unistd.h>
-
 #include "src/bench_db/bench_db.h"
 #include "src/core/config_text.h"
+#include "src/runner/bench_registry.h"
+#include "src/runner/cli_options.h"
 #include "src/runner/experiment_spec.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep_runner.h"
@@ -54,43 +54,15 @@ using namespace mobisim;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: mobisim_sweep [--spec FILE] [key=value ...] [--jobs N] [--serial]\n"
-               "                     [--jsonl FILE|-] [--csv FILE|-] [--list] [--quiet]\n"
-               "                     [--shard K/N] [--db DIR --name NAME [--sha SHA]]\n"
+               "usage: mobisim_sweep [--spec FILE] [key=value ...] [--list]\n"
+               "                     [--shard K/N] [common flags]\n"
+               "%s"
                "sweep keys: devices workloads utilizations dram_sizes sram_sizes\n"
                "            cleaning_policies power_loss_intervals seeds scale\n"
                "            replicas  (comma lists)\n"
-               "plus any base-config key from src/core/config_text.h\n");
+               "plus any base-config key from src/core/config_text.h\n",
+               CommonFlagsUsage());
   return 2;
-}
-
-// ISO-8601 UTC, second resolution; stable format for metadata headers.
-std::string NowUtc() {
-  const std::time_t now = std::time(nullptr);
-  std::tm utc{};
-  gmtime_r(&now, &utc);
-  char buf[32];
-  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
-  return buf;
-}
-
-std::string HostName() {
-  char buf[256] = {0};
-  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
-    return buf;
-  }
-  const char* env = std::getenv("HOSTNAME");
-  return env != nullptr ? env : "unknown";
-}
-
-std::string DefaultSha() {
-  for (const char* var : {"GITHUB_SHA", "MOBISIM_GIT_SHA"}) {
-    const char* value = std::getenv(var);
-    if (value != nullptr && value[0] != '\0') {
-      return value;
-    }
-  }
-  return "local";
 }
 
 bool ParseShard(const std::string& text, std::size_t* shard, std::size_t* shards) {
@@ -112,37 +84,20 @@ bool ParseShard(const std::string& text, std::size_t* shard, std::size_t* shards
   }
 }
 
-// "-" means stdout; otherwise open the file for writing.
-std::ostream* OpenSink(const std::string& path, std::ofstream* file) {
-  if (path == "-") {
-    return &std::cout;
-  }
-  file->open(path);
-  if (!*file) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-    return nullptr;
-  }
-  return file;
-}
-
-}  // namespace
-
-namespace {
-
 int RunMain(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  CliOptions common;
+  std::string error;
+  if (!ExtractCommonFlags(&args, &common, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
+
   ExperimentSpec spec;
-  std::size_t jobs = 0;  // 0 = all cores
-  std::string jsonl_path;
-  std::string csv_path;
-  std::string db_root;
-  std::string db_name;
-  std::string git_sha = DefaultSha();
   std::size_t shard = 0;
   std::size_t shards = 1;
   bool list_only = false;
-  bool quiet = false;
 
-  const std::vector<std::string> args(argv + 1, argv + argc);
   std::vector<std::string> assignments;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--spec") {
@@ -156,56 +111,18 @@ int RunMain(int argc, char** argv) {
       }
       std::stringstream buffer;
       buffer << in.rdbuf();
-      std::string error;
       const auto parsed = ParseExperimentSpec(buffer.str(), &error);
       if (!parsed) {
         std::fprintf(stderr, "spec error: %s\n", error.c_str());
         return 1;
       }
       spec = *parsed;
-    } else if (args[i] == "--jobs") {
-      if (i + 1 >= args.size()) {
-        return Usage();
-      }
-      jobs = static_cast<std::size_t>(std::atoll(args[++i].c_str()));
-      if (jobs == 0) {
-        return Usage();
-      }
-    } else if (args[i] == "--serial") {
-      jobs = 1;
-    } else if (args[i] == "--jsonl") {
-      if (i + 1 >= args.size()) {
-        return Usage();
-      }
-      jsonl_path = args[++i];
-    } else if (args[i] == "--csv") {
-      if (i + 1 >= args.size()) {
-        return Usage();
-      }
-      csv_path = args[++i];
-    } else if (args[i] == "--db") {
-      if (i + 1 >= args.size()) {
-        return Usage();
-      }
-      db_root = args[++i];
-    } else if (args[i] == "--name") {
-      if (i + 1 >= args.size()) {
-        return Usage();
-      }
-      db_name = args[++i];
-    } else if (args[i] == "--sha") {
-      if (i + 1 >= args.size()) {
-        return Usage();
-      }
-      git_sha = args[++i];
     } else if (args[i] == "--shard") {
       if (i + 1 >= args.size() || !ParseShard(args[++i], &shard, &shards)) {
         return Usage();
       }
     } else if (args[i] == "--list") {
       list_only = true;
-    } else if (args[i] == "--quiet") {
-      quiet = true;
     } else if (args[i].find('=') != std::string::npos) {
       assignments.push_back(args[i]);
     } else {
@@ -215,16 +132,18 @@ int RunMain(int argc, char** argv) {
   }
   for (const std::string& token : assignments) {
     const std::size_t eq = token.find('=');
-    std::string error;
     if (!ApplySpecAssignment(&spec, token.substr(0, eq), token.substr(eq + 1), &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
   }
-
-  if (!db_root.empty() && db_name.empty()) {
-    std::fprintf(stderr, "error: --db requires --name\n");
-    return Usage();
+  // Common-surface overrides land in the spec itself so the fingerprint and
+  // the enumerated points both reflect them.
+  if (common.seed) {
+    spec.seeds = {*common.seed};
+  }
+  if (common.replicas) {
+    spec.replicas = *common.replicas;
   }
 
   std::vector<ExperimentPoint> points = EnumerateGrid(spec);
@@ -239,7 +158,7 @@ int RunMain(int argc, char** argv) {
     }
     points = std::move(mine);
   }
-  if (!quiet) {
+  if (!common.quiet) {
     std::fprintf(stderr, "mobisim_sweep: %s\n", DescribeSpec(spec).c_str());
     if (shards > 1) {
       std::fprintf(stderr, "mobisim_sweep: shard %zu/%zu -> %zu points\n", shard,
@@ -252,53 +171,41 @@ int RunMain(int argc, char** argv) {
                   static_cast<unsigned long long>(point.seed),
                   DescribeConfig(point.config).c_str());
     }
+    std::printf("\nregistered benches (run with `mobisim_bench run <name>`):\n");
+    for (const BenchDef* def : AllBenches()) {
+      std::printf("  %-24s %s\n", def->name.c_str(), def->description.c_str());
+    }
     return 0;
   }
 
   RunMeta meta;
-  meta.spec_name = db_name.empty() ? "sweep" : db_name;
+  meta.spec_name = common.db_name.empty() ? "sweep" : common.db_name;
   meta.spec_hash = SpecFingerprint(spec);
-  meta.git_sha = git_sha;
+  meta.git_sha = common.git_sha;
   meta.created = NowUtc();
   meta.host = HostName();
   meta.points = points.size();
 
-  std::ofstream jsonl_file;
-  std::ofstream csv_file;
-  std::unique_ptr<JsonlResultSink> jsonl_sink;
-  std::unique_ptr<CsvResultSink> csv_sink;
-  SweepOptions options;
-  options.threads = jobs;
-  if (!jsonl_path.empty()) {
-    std::ostream* out = OpenSink(jsonl_path, &jsonl_file);
-    if (out == nullptr) {
-      return 1;
-    }
-    jsonl_sink = std::make_unique<JsonlResultSink>(*out);
-    // Metadata header first: identifies the run and fingerprints the spec so
-    // benchdiff can verify it is comparing like with like.
-    jsonl_sink->Write(MetaToRow(meta));
-    options.sinks.push_back(jsonl_sink.get());
-  }
-  if (!csv_path.empty()) {
-    std::ostream* out = OpenSink(csv_path, &csv_file);
-    if (out == nullptr) {
-      return 1;
-    }
-    csv_sink = std::make_unique<CsvResultSink>(*out, SweepCsvHeader());
-    options.sinks.push_back(csv_sink.get());
+  SinkSet sinks;
+  if (!sinks.Open(common, meta, SweepCsvHeader(), &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
   }
   // With no explicit sink, CSV goes to stdout so the tool is useful bare
   // (unless --db already captures the run).
-  if (options.sinks.empty() && db_root.empty()) {
-    csv_sink = std::make_unique<CsvResultSink>(std::cout, SweepCsvHeader());
-    options.sinks.push_back(csv_sink.get());
+  if (sinks.sinks().empty() && common.db_root.empty()) {
+    sinks.AddStdoutCsv(SweepCsvHeader());
   }
-  if (!quiet) {
+
+  SweepOptions options;
+  options.threads = common.jobs;
+  options.sinks = sinks.sinks();
+  if (!common.quiet) {
     options.progress = &std::cerr;
   }
 
   const std::vector<SweepOutcome> outcomes = RunSweep(points, options);
+  sinks.Finish();
 
   // Failed points were exported as `_error` rows; surface them here and make
   // the exit status reflect that the sweep is incomplete.
@@ -311,30 +218,29 @@ int RunMain(int argc, char** argv) {
     }
   }
 
-  if (!db_root.empty()) {
+  if (!common.db_root.empty()) {
     std::vector<ResultRow> rows;
     rows.reserve(outcomes.size());
     for (const SweepOutcome& outcome : outcomes) {
       rows.push_back(outcome.row);
     }
-    BenchDb db(db_root);
-    std::string error;
+    BenchDb db(common.db_root);
     const auto stored = db.StoreRun(meta, rows, &error);
     if (!stored) {
       std::fprintf(stderr, "error storing run: %s\n", error.c_str());
       return 1;
     }
-    if (!quiet) {
+    if (!common.quiet) {
       std::fprintf(stderr, "mobisim_sweep: stored %s (spec hash %s)\n",
                    stored->c_str(), meta.spec_hash.c_str());
     }
   }
 
-  if (!quiet) {
+  if (!common.quiet) {
     // Compact human summary: one line per point on stderr-adjacent stdout
     // would fight the CSV default, so summarize only when not writing there.
-    const bool stdout_taken = csv_path == "-" || jsonl_path == "-" ||
-                              (csv_path.empty() && jsonl_path.empty());
+    const bool stdout_taken = common.csv_path == "-" || common.jsonl_path == "-" ||
+                              (common.csv_path.empty() && common.jsonl_path.empty());
     if (!stdout_taken) {
       TablePrinter table({"Point", "Workload", "Device", "Util (%)", "Energy (J)",
                           "Write Mean (ms)", "Erases"});

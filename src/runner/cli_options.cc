@@ -1,0 +1,197 @@
+#include "src/runner/cli_options.h"
+
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+
+#include <unistd.h>
+
+namespace mobisim {
+
+namespace {
+
+// Parses a strictly positive integer; false on garbage, sign, or zero.
+bool ParsePositive(const std::string& text, std::uint64_t* value) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text[0] == '-' || parsed == 0) {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+bool ParseUnsigned(const std::string& text, std::uint64_t* value) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text[0] == '-') {
+    return false;
+  }
+  *value = parsed;
+  return true;
+}
+
+}  // namespace
+
+bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
+                        std::string* error) {
+  options->git_sha = DefaultGitSha();
+  std::vector<std::string> rest;
+  const std::vector<std::string>& in = *args;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::string& flag = in[i];
+    const bool takes_value = flag == "--jobs" || flag == "--seed" ||
+                             flag == "--replicas" || flag == "--jsonl" ||
+                             flag == "--csv" || flag == "--db" || flag == "--name" ||
+                             flag == "--sha";
+    if (takes_value && i + 1 >= in.size()) {
+      *error = flag + " requires an argument";
+      return false;
+    }
+    if (flag == "--jobs") {
+      std::uint64_t jobs = 0;
+      if (!ParsePositive(in[++i], &jobs)) {
+        *error = "--jobs wants a positive integer, got '" + in[i] + "'";
+        return false;
+      }
+      options->jobs = static_cast<std::size_t>(jobs);
+    } else if (flag == "--serial") {
+      options->jobs = 1;
+    } else if (flag == "--seed") {
+      std::uint64_t seed = 0;
+      if (!ParseUnsigned(in[++i], &seed)) {
+        *error = "--seed wants a non-negative integer, got '" + in[i] + "'";
+        return false;
+      }
+      options->seed = seed;
+    } else if (flag == "--replicas") {
+      std::uint64_t replicas = 0;
+      if (!ParsePositive(in[++i], &replicas)) {
+        *error = "--replicas wants a positive integer, got '" + in[i] + "'";
+        return false;
+      }
+      options->replicas = static_cast<std::size_t>(replicas);
+    } else if (flag == "--jsonl") {
+      options->jsonl_path = in[++i];
+    } else if (flag == "--csv") {
+      options->csv_path = in[++i];
+    } else if (flag == "--db") {
+      options->db_root = in[++i];
+    } else if (flag == "--name") {
+      options->db_name = in[++i];
+    } else if (flag == "--sha") {
+      options->git_sha = in[++i];
+    } else if (flag == "--quiet") {
+      options->quiet = true;
+    } else {
+      rest.push_back(flag);
+    }
+  }
+  if (!options->db_root.empty() && options->db_name.empty()) {
+    *error = "--db requires --name";
+    return false;
+  }
+  *args = std::move(rest);
+  return true;
+}
+
+const char* CommonFlagsUsage() {
+  return "common flags: [--jobs N | --serial] [--seed N] [--replicas N]\n"
+         "              [--jsonl FILE|-] [--csv FILE|-]\n"
+         "              [--db DIR --name NAME [--sha SHA]] [--quiet]\n";
+}
+
+std::string NowUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+std::string HostName() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+  const char* env = std::getenv("HOSTNAME");
+  return env != nullptr ? env : "unknown";
+}
+
+std::string DefaultGitSha() {
+  for (const char* var : {"GITHUB_SHA", "MOBISIM_GIT_SHA"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && value[0] != '\0') {
+      return value;
+    }
+  }
+  return "local";
+}
+
+bool SinkSet::Open(const CliOptions& options, const RunMeta& meta,
+                   const std::string& csv_header, std::string* error) {
+  const auto open = [error](const std::string& path, std::ofstream* file,
+                            std::ostream** out) {
+    if (path == "-") {
+      *out = &std::cout;
+      return true;
+    }
+    file->open(path);
+    if (!*file) {
+      *error = "cannot open " + path + " for writing";
+      return false;
+    }
+    *out = file;
+    return true;
+  };
+  if (!options.jsonl_path.empty()) {
+    std::ostream* out = nullptr;
+    if (!open(options.jsonl_path, &jsonl_file_, &out)) {
+      return false;
+    }
+    jsonl_ = std::make_unique<JsonlResultSink>(*out);
+    // Metadata header first: identifies the run and fingerprints the spec so
+    // downstream diffs can verify they compare like with like.
+    jsonl_->Write(MetaToRow(meta));
+    sinks_.push_back(jsonl_.get());
+  }
+  if (!options.csv_path.empty()) {
+    std::ostream* out = nullptr;
+    if (!open(options.csv_path, &csv_file_, &out)) {
+      return false;
+    }
+    csv_ = std::make_unique<CsvResultSink>(*out, csv_header);
+    sinks_.push_back(csv_.get());
+  }
+  return true;
+}
+
+void SinkSet::AddStdoutCsv(const std::string& csv_header) {
+  csv_ = std::make_unique<CsvResultSink>(std::cout, csv_header);
+  sinks_.push_back(csv_.get());
+}
+
+void SinkSet::Finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  for (ResultSink* sink : sinks_) {
+    sink->Finish();
+  }
+  if (jsonl_file_.is_open()) {
+    jsonl_file_.close();
+  }
+  if (csv_file_.is_open()) {
+    csv_file_.close();
+  }
+}
+
+}  // namespace mobisim

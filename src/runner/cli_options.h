@@ -1,0 +1,108 @@
+// Shared command-line surface of the mobisim tools.
+//
+// mobisim_bench, mobisim_sweep and mobisim_cli accept one common set of
+// export and execution flags:
+//
+//   --jobs N | --serial      worker threads for the sweep engine
+//   --seed N                 workload-generator seed override
+//   --replicas N             independent re-runs per grid cell
+//   --jsonl FILE|-           one JSON object per row (metadata header first)
+//   --csv FILE|-             fixed-schema CSV
+//   --db DIR                 land the run in a bench_db result store
+//   --name NAME              run name inside the store (required with --db)
+//   --sha SHA                commit id for the store (default: $GITHUB_SHA,
+//                            then $MOBISIM_GIT_SHA, then "local")
+//   --quiet                  suppress progress and summaries on stderr
+//
+// ExtractCommonFlags pulls these out of an argument list, leaving
+// tool-specific tokens behind, so the three tools cannot drift apart again.
+// SinkSet turns parsed options into ready-to-use streaming ResultSinks —
+// the open-file/metadata-header/tee wiring previously duplicated in every
+// bench main().
+#ifndef MOBISIM_SRC_RUNNER_CLI_OPTIONS_H_
+#define MOBISIM_SRC_RUNNER_CLI_OPTIONS_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/result_io.h"
+#include "src/runner/result_sink.h"
+
+namespace mobisim {
+
+struct CliOptions {
+  std::size_t jobs = 0;  // 0 = one worker per hardware core; 1 = serial
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> replicas;
+  std::string jsonl_path;  // empty = no JSONL sink; "-" = stdout
+  std::string csv_path;    // empty = no CSV sink; "-" = stdout
+  std::string db_root;     // empty = no result store
+  std::string db_name;
+  std::string git_sha;  // filled from the environment by ExtractCommonFlags
+  bool quiet = false;
+
+  // True when any export destination (file, stdout, or store) was requested.
+  bool wants_export() const {
+    return !jsonl_path.empty() || !csv_path.empty() || !db_root.empty();
+  }
+};
+
+// Removes every common flag (and its argument) from `args`, leaving
+// tool-specific tokens in their original order.  Returns false with a
+// message in `error` on a malformed flag (missing argument, bad number,
+// --db without --name); the caller prints its own usage.
+bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
+                        std::string* error);
+
+// The usage fragment describing the common flags, for per-tool usage text.
+const char* CommonFlagsUsage();
+
+// ISO-8601 UTC timestamp (second resolution) and host name, for RunMeta.
+std::string NowUtc();
+std::string HostName();
+// $GITHUB_SHA, then $MOBISIM_GIT_SHA, then "local".
+std::string DefaultGitSha();
+
+// The export destinations a CliOptions asks for, opened and owned in one
+// place.  JSONL files start with the RunMeta header line; CSV sinks carry
+// `csv_header` so even an empty run emits a well-formed table.
+class SinkSet {
+ public:
+  SinkSet() = default;
+  ~SinkSet() { Finish(); }
+  SinkSet(const SinkSet&) = delete;
+  SinkSet& operator=(const SinkSet&) = delete;
+
+  // Opens the requested sinks ("-" = stdout).  Returns false with `error`
+  // when a file cannot be opened.  Safe to call on options with no export
+  // destinations (sinks() is then empty).
+  bool Open(const CliOptions& options, const RunMeta& meta,
+            const std::string& csv_header, std::string* error);
+
+  // Adds a CSV sink on stdout; mobisim_sweep's default when the caller
+  // requested no destination at all.
+  void AddStdoutCsv(const std::string& csv_header);
+
+  // Borrowed pointers, valid until this SinkSet is destroyed.
+  const std::vector<ResultSink*>& sinks() const { return sinks_; }
+
+  // Finishes every sink exactly once (flush, default CSV header on empty
+  // runs) and closes the files.  Called automatically on destruction.
+  void Finish();
+
+ private:
+  std::ofstream jsonl_file_;
+  std::ofstream csv_file_;
+  std::unique_ptr<JsonlResultSink> jsonl_;
+  std::unique_ptr<CsvResultSink> csv_;
+  std::vector<ResultSink*> sinks_;
+  bool finished_ = false;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_RUNNER_CLI_OPTIONS_H_

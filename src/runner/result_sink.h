@@ -22,6 +22,11 @@ class ResultSink {
   // rows carry only the point metadata plus an `_error` message, so sinks
   // with a rigid schema (CSV) opt out and the runner skips them.
   virtual bool AcceptsErrorRows() const { return true; }
+  // Whether the sink tolerates rows whose schema differs row to row (the
+  // bench registry's hand-measured rows: microbenchmark cells, testbed
+  // curves).  Fixed-schema sinks (CSV) opt out; such rows only reach
+  // schema-free destinations like JSONL.
+  virtual bool AcceptsDynamicRows() const { return true; }
 };
 
 // One JSON object per line (JSONL / NDJSON).
@@ -52,6 +57,7 @@ class CsvResultSink : public ResultSink {
   void Write(const ResultRow& row) override;
   void Finish() override;
   bool AcceptsErrorRows() const override { return false; }
+  bool AcceptsDynamicRows() const override { return false; }
 
  private:
   std::ostream& out_;
