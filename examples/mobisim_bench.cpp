@@ -18,6 +18,15 @@
 // mobisim_cli (src/runner/cli_options.h): --jobs/--serial, --seed,
 // --replicas, --jsonl, --csv, --db/--name/--sha, --quiet.
 //
+// The trace-cache maintenance surface also lives here:
+//
+//   mobisim_bench trace-cache stats [--trace-cache DIR]
+//   mobisim_bench trace-cache gc [--max-bytes SIZE] [--trace-cache DIR]
+//
+// With a cache configured (--trace-cache DIR or $MOBISIM_TRACE_CACHE), run
+// commands load previously generated block traces instead of regenerating
+// them and report `trace-cache: hits=... misses=...` on stderr.
+//
 // Exit status: 0 on a clean run, 1 when any bench had failed points (the
 // failures are also exported as `_error` rows), 2 on usage errors.
 #include <cstdio>
@@ -26,9 +35,12 @@
 #include <vector>
 
 #include "src/bench_db/bench_db.h"
+#include "src/core/config_text.h"
 #include "src/runner/bench_registry.h"
 #include "src/runner/cli_options.h"
 #include "src/runner/sweep_runner.h"
+#include "src/trace/trace_cache.h"
+#include "src/util/parse.h"
 
 namespace {
 
@@ -39,6 +51,7 @@ int Usage() {
                "usage: mobisim_bench list\n"
                "       mobisim_bench run <name>... [options]\n"
                "       mobisim_bench run --all [options]\n"
+               "       mobisim_bench trace-cache stats|gc [--max-bytes SIZE]\n"
                "options:\n"
                "  --smoke          scaled-down run for CI / quick checks\n"
                "  --scale S        workload scale override\n"
@@ -101,20 +114,24 @@ int RunCommand(std::vector<std::string> args) {
       if (i + 1 >= args.size()) {
         return Usage();
       }
-      scale = std::atof(args[++i].c_str());
-      if (scale <= 0.0) {
-        std::fprintf(stderr, "error: --scale wants a positive number\n");
+      const auto parsed = ParseFiniteDouble(args[++i]);
+      if (!parsed || *parsed <= 0.0) {
+        std::fprintf(stderr, "error: --scale wants a positive number, got '%s'\n",
+                     args[i].c_str());
         return Usage();
       }
+      scale = *parsed;
     } else if (args[i] == "--param") {
       if (i + 1 >= args.size()) {
         return Usage();
       }
-      param = static_cast<std::uint64_t>(std::atoll(args[++i].c_str()));
-      if (param == 0) {
-        std::fprintf(stderr, "error: --param wants a positive count\n");
+      const auto parsed = ParseUint64(args[++i]);
+      if (!parsed || *parsed == 0) {
+        std::fprintf(stderr, "error: --param wants a positive count, got '%s'\n",
+                     args[i].c_str());
         return Usage();
       }
+      param = *parsed;
     } else if (!args[i].empty() && args[i][0] == '-') {
       std::fprintf(stderr, "error: unrecognised flag '%s'\n", args[i].c_str());
       return Usage();
@@ -166,6 +183,8 @@ int RunCommand(std::vector<std::string> args) {
   }
   VectorSink collected;
 
+  const std::unique_ptr<TraceCache> trace_cache = OpenTraceCache(common);
+
   BenchContext::Options options;
   options.scale = scale;
   options.param = param;
@@ -174,6 +193,7 @@ int RunCommand(std::vector<std::string> args) {
   options.seed = common.seed;
   options.replicas = common.replicas;
   options.sinks = sinks.sinks();
+  options.trace_cache = trace_cache.get();
   if (!common.db_root.empty()) {
     options.sinks.push_back(&collected);
   }
@@ -205,12 +225,86 @@ int RunCommand(std::vector<std::string> args) {
       std::fprintf(stderr, "mobisim_bench: stored %s\n", stored->c_str());
     }
   }
+  if (trace_cache != nullptr && !common.quiet) {
+    // The stats line is CI's evidence that a warm cache performed zero
+    // trace generations (misses=0 stores=0).
+    std::fprintf(stderr, "mobisim_bench: %s\n", trace_cache->StatsLine().c_str());
+  }
   if (!common.quiet) {
     std::fprintf(stderr, "mobisim_bench: %zu bench%s done%s\n", benches.size(),
                  benches.size() == 1 ? "" : "es",
                  failed > 0 ? ", with failures" : "");
   }
   return failed > 0 ? 1 : 0;
+}
+
+// `trace-cache stats` and `trace-cache gc`: inspect and prune the persistent
+// trace cache shared by all three drivers.
+int TraceCacheCommand(std::vector<std::string> args) {
+  CliOptions common;
+  std::string error;
+  if (!ExtractCommonFlags(&args, &common, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return Usage();
+  }
+
+  std::string action;
+  std::uint64_t max_bytes = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--max-bytes") {
+      if (i + 1 >= args.size()) {
+        return Usage();
+      }
+      const auto size = ParseSize(args[++i]);
+      if (!size || *size == 0) {
+        std::fprintf(stderr, "error: --max-bytes wants a positive size, got '%s'\n",
+                     args[i].c_str());
+        return Usage();
+      }
+      max_bytes = *size;
+    } else if (action.empty() && (args[i] == "stats" || args[i] == "gc")) {
+      action = args[i];
+    } else {
+      std::fprintf(stderr, "error: unrecognised argument '%s'\n", args[i].c_str());
+      return Usage();
+    }
+  }
+  if (action.empty()) {
+    std::fprintf(stderr, "error: trace-cache wants `stats` or `gc`\n");
+    return Usage();
+  }
+  if (common.trace_cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: no cache directory (use --trace-cache DIR or set "
+                 "MOBISIM_TRACE_CACHE)\n");
+    return 2;
+  }
+
+  if (action == "stats") {
+    const std::vector<TraceCacheEntry> entries = ListTraceCache(common.trace_cache_dir);
+    std::uint64_t bytes = 0;
+    std::size_t invalid = 0;
+    for (const TraceCacheEntry& entry : entries) {
+      bytes += entry.bytes;
+      if (!entry.valid) {
+        ++invalid;
+      }
+      std::printf("%s  %10llu bytes  %s\n", entry.fingerprint.c_str(),
+                  static_cast<unsigned long long>(entry.bytes),
+                  entry.valid ? "ok" : "INVALID");
+    }
+    std::printf("trace-cache %s: %zu entries, %llu bytes, %zu invalid\n",
+                common.trace_cache_dir.c_str(), entries.size(),
+                static_cast<unsigned long long>(bytes), invalid);
+    return 0;
+  }
+
+  const TraceCacheGcResult gc = GcTraceCache(common.trace_cache_dir, max_bytes);
+  std::printf("trace-cache %s: removed %zu entries (%llu bytes), kept %zu (%llu bytes)\n",
+              common.trace_cache_dir.c_str(), gc.removed,
+              static_cast<unsigned long long>(gc.removed_bytes), gc.kept,
+              static_cast<unsigned long long>(gc.kept_bytes));
+  return 0;
 }
 
 }  // namespace
@@ -227,6 +321,9 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       return RunCommand(std::move(args));
+    }
+    if (command == "trace-cache") {
+      return TraceCacheCommand(std::move(args));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mobisim_bench: fatal: %s\n", e.what());

@@ -29,6 +29,7 @@
 
 #include "src/bench_db/bench_db.h"
 #include "src/bench_db/benchdiff.h"
+#include "src/util/parse.h"
 
 namespace {
 
@@ -59,17 +60,14 @@ std::vector<std::string> SplitCommas(const std::string& value) {
 }
 
 bool ParsePositive(const std::string& text, double* out) {
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(text, &consumed);
-    if (consumed != text.size() || v <= 0.0) {
-      return false;
-    }
-    *out = v;
-    return true;
-  } catch (...) {
+  // Strict finite parse: "nan" would sail through a `v <= 0.0` check and
+  // poison every threshold comparison downstream.
+  const auto v = ParseFiniteDouble(text);
+  if (!v || *v <= 0.0) {
     return false;
   }
+  *out = *v;
+  return true;
 }
 
 }  // namespace

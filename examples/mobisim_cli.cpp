@@ -32,7 +32,9 @@
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
 #include "src/trace/external_formats.h"
+#include "src/trace/trace_cache.h"
 #include "src/trace/trace_io.h"
+#include "src/util/parse.h"
 #include "src/util/table.h"
 
 namespace {
@@ -111,7 +113,13 @@ int RunMain(int argc, char** argv) {
       if (i + 1 >= args.size()) {
         return Usage();
       }
-      scale = std::atof(args[++i].c_str());
+      const auto parsed = ParseFiniteDouble(args[++i]);
+      if (!parsed || *parsed <= 0.0) {
+        std::fprintf(stderr, "error: --scale wants a positive number, got '%s'\n",
+                     args[i].c_str());
+        return Usage();
+      }
+      scale = *parsed;
     } else {
       remaining.push_back(args[i]);
     }
@@ -127,6 +135,7 @@ int RunMain(int argc, char** argv) {
   }
 
   const bool generated = hpl_path.empty() && disksim_path.empty() && trace_path.empty();
+  const std::unique_ptr<TraceCache> tcache = OpenTraceCache(common);
   const std::size_t replicas = common.replicas.value_or(1);
   if (replicas > 1 && !generated) {
     std::fprintf(stderr,
@@ -163,9 +172,9 @@ int RunMain(int argc, char** argv) {
     blocks = BlockMapper::Map(*trace);
   } else {
     // `seed` perturbs the generator so repeated runs are reproducible and
-    // distinct seeds give independent workload instances.
-    const Trace trace = GenerateNamedWorkload(workload, scale, seed);
-    blocks = BlockMapper::Map(trace);
+    // distinct seeds give independent workload instances.  The trace cache
+    // (when configured) shares the generated blocks with sweep/bench runs.
+    blocks = *LoadOrGenerateBlockTrace(tcache.get(), workload, scale, seed);
     if (workload == "hp") {
       config.dram_bytes = 0;  // the paper's methodology for hp
     }
@@ -212,6 +221,9 @@ int RunMain(int argc, char** argv) {
   std::printf("device energy: %s\n", result.device_energy_breakdown.c_str());
 
   if (!common.wants_export()) {
+    if (tcache != nullptr && !common.quiet) {
+      std::fprintf(stderr, "mobisim_cli: %s\n", tcache->StatsLine().c_str());
+    }
     return 0;
   }
 
@@ -247,8 +259,8 @@ int RunMain(int argc, char** argv) {
     if (replica == 0) {
       replica_result = result;  // reuse the run the table reported
     } else {
-      const Trace trace = GenerateNamedWorkload(workload, scale, point.seed);
-      replica_result = RunSimulation(BlockMapper::Map(trace), config);
+      replica_result = RunSimulation(
+          *LoadOrGenerateBlockTrace(tcache.get(), workload, scale, point.seed), config);
     }
     ResultRow row = MergePointAndResult(point, replica_result);
     for (ResultSink* sink : sinks.sinks()) {
@@ -268,6 +280,9 @@ int RunMain(int argc, char** argv) {
     if (!common.quiet) {
       std::fprintf(stderr, "mobisim_cli: stored %s\n", stored->c_str());
     }
+  }
+  if (tcache != nullptr && !common.quiet) {
+    std::fprintf(stderr, "mobisim_cli: %s\n", tcache->StatsLine().c_str());
   }
   return 0;
 }

@@ -45,6 +45,8 @@
 #include "src/runner/experiment_spec.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep_runner.h"
+#include "src/trace/trace_cache.h"
+#include "src/util/parse.h"
 #include "src/util/table.h"
 #include "src/util/thread_pool.h"
 
@@ -70,18 +72,16 @@ bool ParseShard(const std::string& text, std::size_t* shard, std::size_t* shards
   if (slash == std::string::npos) {
     return false;
   }
-  try {
-    const unsigned long long k = std::stoull(text.substr(0, slash));
-    const unsigned long long n = std::stoull(text.substr(slash + 1));
-    if (n == 0 || k >= n) {
-      return false;
-    }
-    *shard = static_cast<std::size_t>(k);
-    *shards = static_cast<std::size_t>(n);
-    return true;
-  } catch (...) {
+  // Strict digits-only parsing: "1x/2" or "0/-3" is a usage error, never an
+  // uncaught std::invalid_argument or a silent unsigned wrap.
+  const auto k = ParseUint64(text.substr(0, slash));
+  const auto n = ParseUint64(text.substr(slash + 1));
+  if (!k || !n || *n == 0 || *k >= *n) {
     return false;
   }
+  *shard = static_cast<std::size_t>(*k);
+  *shards = static_cast<std::size_t>(*n);
+  return true;
 }
 
 int RunMain(int argc, char** argv) {
@@ -113,7 +113,9 @@ int RunMain(int argc, char** argv) {
       buffer << in.rdbuf();
       const auto parsed = ParseExperimentSpec(buffer.str(), &error);
       if (!parsed) {
-        std::fprintf(stderr, "spec error: %s\n", error.c_str());
+        // The parser reports line and key; add the file so multi-spec
+        // invocations point at the right one.
+        std::fprintf(stderr, "spec error in %s: %s\n", args[i].c_str(), error.c_str());
         return 1;
       }
       spec = *parsed;
@@ -197,15 +199,21 @@ int RunMain(int argc, char** argv) {
     sinks.AddStdoutCsv(SweepCsvHeader());
   }
 
+  const std::unique_ptr<TraceCache> trace_cache = OpenTraceCache(common);
+
   SweepOptions options;
   options.threads = common.jobs;
   options.sinks = sinks.sinks();
+  options.trace_cache = trace_cache.get();
   if (!common.quiet) {
     options.progress = &std::cerr;
   }
 
   const std::vector<SweepOutcome> outcomes = RunSweep(points, options);
   sinks.Finish();
+  if (trace_cache != nullptr && !common.quiet) {
+    std::fprintf(stderr, "mobisim_sweep: %s\n", trace_cache->StatsLine().c_str());
+  }
 
   // Failed points were exported as `_error` rows; surface them here and make
   // the exit status reflect that the sweep is incomplete.

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/util/parse.h"
+
 namespace mobisim {
 
 namespace {
@@ -27,17 +29,11 @@ std::string Lower(std::string s) {
   return s;
 }
 
+// Strict finite parse: rejects nan/inf and out-of-range values like 1e999
+// instead of letting them poison a config (NaN passes naive range checks —
+// `nan < 0.0` and `nan >= 1.0` are both false).
 std::optional<double> ParseDouble(const std::string& text) {
-  try {
-    std::size_t consumed = 0;
-    const double value = std::stod(text, &consumed);
-    if (consumed != text.size()) {
-      return std::nullopt;
-    }
-    return value;
-  } catch (...) {
-    return std::nullopt;
-  }
+  return ParseFiniteDouble(text);
 }
 
 void SetError(std::string* error, const std::string& message) {
@@ -64,7 +60,13 @@ std::optional<std::uint64_t> ParseSize(const std::string& raw) {
   if (!value || *value < 0) {
     return std::nullopt;
   }
-  return static_cast<std::uint64_t>(*value * static_cast<double>(multiplier));
+  // Guard the cast: double -> uint64 is undefined behaviour once the scaled
+  // value reaches 2^64, so sizes like 99999999999g are an error, not UB.
+  const double scaled = *value * static_cast<double>(multiplier);
+  if (scaled >= 18446744073709549568.0) {  // largest double below 2^64
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(scaled);
 }
 
 std::optional<bool> ParseBool(const std::string& raw) {

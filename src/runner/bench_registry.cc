@@ -65,6 +65,7 @@ std::vector<SweepOutcome> BenchContext::Dispatch(std::vector<ExperimentPoint> po
   labeled.reserve(options_.sinks.size());
   SweepOptions sweep_options;
   sweep_options.threads = options_.threads;
+  sweep_options.trace_cache = options_.trace_cache;
   for (ResultSink* sink : options_.sinks) {
     labeled.emplace_back(def_.name, sink);
   }

@@ -40,6 +40,7 @@
 namespace mobisim {
 
 class BenchContext;
+class TraceCache;
 
 struct BenchDef {
   std::string name;         // registry key, e.g. "fig2_utilization"
@@ -80,6 +81,7 @@ class BenchContext {
     std::optional<std::uint64_t> seed;    // override every grid's seed list
     std::optional<std::size_t> replicas;  // override every grid's replicas
     std::vector<ResultSink*> sinks;       // shared export sinks (may be empty)
+    TraceCache* trace_cache = nullptr;    // persistent trace cache (borrowed)
   };
 
   BenchContext(const BenchDef& def, const Options& options);

@@ -6,34 +6,30 @@
 
 #include <unistd.h>
 
+#include "src/trace/trace_cache.h"
+#include "src/util/parse.h"
+
 namespace mobisim {
 
 namespace {
 
-// Parses a strictly positive integer; false on garbage, sign, or zero.
+// Parses a strictly positive integer; false on garbage, sign, zero, or
+// overflow (ParseUint64 is strict — no silent wrap or saturation).
 bool ParsePositive(const std::string& text, std::uint64_t* value) {
-  if (text.empty()) {
+  const auto parsed = ParseUint64(text);
+  if (!parsed || *parsed == 0) {
     return false;
   }
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || text[0] == '-' || parsed == 0) {
-    return false;
-  }
-  *value = parsed;
+  *value = *parsed;
   return true;
 }
 
 bool ParseUnsigned(const std::string& text, std::uint64_t* value) {
-  if (text.empty()) {
+  const auto parsed = ParseUint64(text);
+  if (!parsed) {
     return false;
   }
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || text[0] == '-') {
-    return false;
-  }
-  *value = parsed;
+  *value = *parsed;
   return true;
 }
 
@@ -42,6 +38,7 @@ bool ParseUnsigned(const std::string& text, std::uint64_t* value) {
 bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
                         std::string* error) {
   options->git_sha = DefaultGitSha();
+  bool no_trace_cache = false;
   std::vector<std::string> rest;
   const std::vector<std::string>& in = *args;
   for (std::size_t i = 0; i < in.size(); ++i) {
@@ -49,7 +46,7 @@ bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
     const bool takes_value = flag == "--jobs" || flag == "--seed" ||
                              flag == "--replicas" || flag == "--jsonl" ||
                              flag == "--csv" || flag == "--db" || flag == "--name" ||
-                             flag == "--sha";
+                             flag == "--sha" || flag == "--trace-cache";
     if (takes_value && i + 1 >= in.size()) {
       *error = flag + " requires an argument";
       return false;
@@ -87,6 +84,10 @@ bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
       options->db_name = in[++i];
     } else if (flag == "--sha") {
       options->git_sha = in[++i];
+    } else if (flag == "--trace-cache") {
+      options->trace_cache_dir = in[++i];
+    } else if (flag == "--no-trace-cache") {
+      no_trace_cache = true;
     } else if (flag == "--quiet") {
       options->quiet = true;
     } else {
@@ -97,6 +98,15 @@ bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
     *error = "--db requires --name";
     return false;
   }
+  // Environment default, explicitly overridable in both directions.
+  if (no_trace_cache) {
+    options->trace_cache_dir.clear();
+  } else if (options->trace_cache_dir.empty()) {
+    const char* env = std::getenv("MOBISIM_TRACE_CACHE");
+    if (env != nullptr) {
+      options->trace_cache_dir = env;
+    }
+  }
   *args = std::move(rest);
   return true;
 }
@@ -104,7 +114,16 @@ bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
 const char* CommonFlagsUsage() {
   return "common flags: [--jobs N | --serial] [--seed N] [--replicas N]\n"
          "              [--jsonl FILE|-] [--csv FILE|-]\n"
-         "              [--db DIR --name NAME [--sha SHA]] [--quiet]\n";
+         "              [--db DIR --name NAME [--sha SHA]] [--quiet]\n"
+         "              [--trace-cache DIR | --no-trace-cache]\n"
+         "              (trace cache default: $MOBISIM_TRACE_CACHE)\n";
+}
+
+std::unique_ptr<TraceCache> OpenTraceCache(const CliOptions& options) {
+  if (options.trace_cache_dir.empty()) {
+    return nullptr;
+  }
+  return std::make_unique<TraceCache>(options.trace_cache_dir);
 }
 
 std::string NowUtc() {

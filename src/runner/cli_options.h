@@ -12,6 +12,9 @@
 //   --name NAME              run name inside the store (required with --db)
 //   --sha SHA                commit id for the store (default: $GITHUB_SHA,
 //                            then $MOBISIM_GIT_SHA, then "local")
+//   --trace-cache DIR        persistent trace cache directory (default:
+//                            $MOBISIM_TRACE_CACHE; empty = disabled)
+//   --no-trace-cache         disable the trace cache even if the env is set
 //   --quiet                  suppress progress and summaries on stderr
 //
 // ExtractCommonFlags pulls these out of an argument list, leaving
@@ -34,6 +37,8 @@
 
 namespace mobisim {
 
+class TraceCache;
+
 struct CliOptions {
   std::size_t jobs = 0;  // 0 = one worker per hardware core; 1 = serial
   std::optional<std::uint64_t> seed;
@@ -43,6 +48,10 @@ struct CliOptions {
   std::string db_root;     // empty = no result store
   std::string db_name;
   std::string git_sha;  // filled from the environment by ExtractCommonFlags
+  // Persistent trace cache directory; empty = disabled.  ExtractCommonFlags
+  // fills it from --trace-cache, falling back to $MOBISIM_TRACE_CACHE
+  // unless --no-trace-cache was given.
+  std::string trace_cache_dir;
   bool quiet = false;
 
   // True when any export destination (file, stdout, or store) was requested.
@@ -60,6 +69,11 @@ bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
 
 // The usage fragment describing the common flags, for per-tool usage text.
 const char* CommonFlagsUsage();
+
+// Opens the persistent trace cache the options ask for; null when disabled.
+// The directory is created lazily on first store, so a bad path degrades to
+// generating every trace rather than failing the run.
+std::unique_ptr<TraceCache> OpenTraceCache(const CliOptions& options);
 
 // ISO-8601 UTC timestamp (second resolution) and host name, for RunMeta.
 std::string NowUtc();

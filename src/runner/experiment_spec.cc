@@ -7,6 +7,7 @@
 
 #include "src/core/config_text.h"
 #include "src/util/hash.h"
+#include "src/util/parse.h"
 
 namespace mobisim {
 
@@ -43,30 +44,21 @@ std::vector<std::string> SplitList(const std::string& value) {
   return items;
 }
 
+// Strict fraction in [0, 1): ParseFiniteDouble rejects nan (which would
+// pass the range checks below — nan compares false against everything) and
+// overflowing literals like 1e999.
 std::optional<double> ParseFraction(const std::string& text) {
-  try {
-    std::size_t consumed = 0;
-    const double v = std::stod(text, &consumed);
-    if (consumed != text.size() || v < 0.0 || v >= 1.0) {
-      return std::nullopt;
-    }
-    return v;
-  } catch (...) {
+  const auto v = ParseFiniteDouble(text);
+  if (!v || *v < 0.0 || *v >= 1.0) {
     return std::nullopt;
   }
+  return v;
 }
 
+// Strict decimal uint64: unlike std::stoull this rejects "-1" (which would
+// silently wrap to 2^64-1) and overflow instead of crashing or wrapping.
 std::optional<std::uint64_t> ParseU64(const std::string& text) {
-  try {
-    std::size_t consumed = 0;
-    const unsigned long long v = std::stoull(text, &consumed);
-    if (consumed != text.size()) {
-      return std::nullopt;
-    }
-    return static_cast<std::uint64_t>(v);
-  } catch (...) {
-    return std::nullopt;
-  }
+  return ParseUint64(text);
 }
 
 // Effective size of a dimension: empty sweeps nothing but still contributes
@@ -79,11 +71,7 @@ std::size_t DimSize(const std::vector<T>& dim) {
 // Round-trip-exact double rendering, matching ResultRow::AddNumber, so the
 // canonical text (and thus the fingerprint) is insensitive to how the value
 // was originally spelled but sensitive to any actual change.
-std::string CanonNumber(double value) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
+std::string CanonNumber(double value) { return CanonicalDouble(value); }
 
 }  // namespace
 
@@ -247,16 +235,8 @@ bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
   if (key == "power_loss_intervals") {
     spec->power_loss_intervals.clear();
     for (const std::string& item : SplitList(value)) {
-      std::optional<double> v;
-      try {
-        std::size_t consumed = 0;
-        const double parsed = std::stod(item, &consumed);
-        if (consumed == item.size() && parsed >= 0.0) {
-          v = parsed;
-        }
-      } catch (...) {
-      }
-      if (!v) {
+      const auto v = ParseFiniteDouble(item);
+      if (!v || *v < 0.0) {
         SetError(error,
                  "bad power-loss interval '" + item + "' (want seconds >= 0)");
         return false;
@@ -270,7 +250,7 @@ bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
     for (const std::string& item : SplitList(value)) {
       const auto seed = ParseU64(item);
       if (!seed) {
-        SetError(error, "bad seed '" + item + "'");
+        SetError(error, "bad seed '" + item + "' (want unsigned integer)");
         return false;
       }
       spec->seeds.push_back(*seed);
@@ -287,19 +267,13 @@ bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
     return true;
   }
   if (key == "scale") {
-    try {
-      std::size_t consumed = 0;
-      const double v = std::stod(value, &consumed);
-      if (consumed != value.size() || v <= 0.0) {
-        SetError(error, "bad scale '" + value + "'");
-        return false;
-      }
-      spec->scale = v;
-      return true;
-    } catch (...) {
-      SetError(error, "bad scale '" + value + "'");
+    const auto v = ParseFiniteDouble(value);
+    if (!v || *v <= 0.0) {
+      SetError(error, "bad scale '" + value + "' (want finite number > 0)");
       return false;
     }
+    spec->scale = *v;
+    return true;
   }
   // Everything else is a base-config key.
   return ApplyConfigAssignment(&spec->base, key, value, error);

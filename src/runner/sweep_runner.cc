@@ -7,8 +7,7 @@
 
 #include "src/core/simulator.h"
 #include "src/flash/segment_manager.h"
-#include "src/trace/block_mapper.h"
-#include "src/trace/calibrated_workload.h"
+#include "src/trace/trace_cache.h"
 #include "src/util/progress.h"
 #include "src/util/thread_pool.h"
 
@@ -50,9 +49,13 @@ struct CachedTrace {
 };
 
 // Generates each distinct trace once, in parallel; afterwards the map is
-// read-only and safe to share across workers.
-std::map<TraceKey, CachedTrace> BuildTraceCache(
-    const std::vector<ExperimentPoint>& points, ThreadPool* pool) {
+// read-only and safe to share across workers.  With a persistent cache,
+// each trace is loaded from disk instead of generated when a valid entry
+// exists, and stored after generation otherwise (LoadOrGenerateBlockTrace
+// is thread-safe, so the parallel fan-out needs no extra locking).
+std::map<TraceKey, CachedTrace> BuildTraceMap(const std::vector<ExperimentPoint>& points,
+                                              ThreadPool* pool,
+                                              TraceCache* persistent) {
   std::map<TraceKey, CachedTrace> cache;
   for (const ExperimentPoint& point : points) {
     cache.emplace(TraceKey{point.workload, point.scale, point.seed}, CachedTrace{});
@@ -62,12 +65,11 @@ std::map<TraceKey, CachedTrace> BuildTraceCache(
   for (auto& entry : cache) {
     entries.push_back(&entry);
   }
-  ParallelFor(pool, entries.size(), [&entries](std::size_t i) {
+  ParallelFor(pool, entries.size(), [&entries, persistent](std::size_t i) {
     const TraceKey& key = entries[i]->first;
     try {
-      const Trace trace = GenerateNamedWorkload(key.workload, key.scale, key.seed);
       entries[i]->second.trace =
-          std::make_shared<const BlockTrace>(BlockMapper::Map(trace));
+          LoadOrGenerateBlockTrace(persistent, key.workload, key.scale, key.seed);
     } catch (const std::exception& e) {
       entries[i]->second.error = e.what();
     }
@@ -137,7 +139,7 @@ std::vector<SweepOutcome> RunSweep(const std::vector<ExperimentPoint>& points,
     pool = std::make_unique<ThreadPool>(threads);
   }
 
-  const auto traces = BuildTraceCache(points, pool.get());
+  const auto traces = BuildTraceMap(points, pool.get(), options.trace_cache);
   ProgressMeter meter("sweep", points.size(), options.progress);
 
   // Emission bookkeeping: rows leave in point order, streamed as soon as the

@@ -3,7 +3,8 @@
 // RunSweep fans a list of ExperimentPoints across a fixed thread pool.  Every
 // source of randomness is seeded per point (the workload generator from
 // point.seed, the result reservoirs from compile-time constants), and traces
-// are generated once per distinct (workload, scale, seed) and shared
+// are generated once per distinct (workload, scale, seed) — or loaded
+// bit-identically from the optional persistent trace cache — and shared
 // read-only, so a parallel run produces bit-identical SimResults to a serial
 // run of the same points — scheduling order cannot leak into the numbers.
 // Rows reach the sinks strictly in enumeration order regardless of which
@@ -21,6 +22,8 @@
 
 namespace mobisim {
 
+class TraceCache;
+
 struct SweepOptions {
   // Worker threads; 0 = one per hardware core, 1 = serial (no pool).
   std::size_t threads = 0;
@@ -28,6 +31,10 @@ struct SweepOptions {
   std::vector<ResultSink*> sinks;
   // Progress meter destination (e.g. &std::cerr); null disables it.
   std::ostream* progress = nullptr;
+  // Optional persistent trace cache (src/trace/trace_cache.h): generated
+  // traces are loaded from / stored to it, borrowed for the call.  Results
+  // are byte-identical with the cache on, off, cold, or warm.
+  TraceCache* trace_cache = nullptr;
 };
 
 struct SweepOutcome {

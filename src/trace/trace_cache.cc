@@ -1,0 +1,407 @@
+#include "src/trace/trace_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <sys/stat.h>
+
+#include "src/trace/block_mapper.h"
+#include "src/trace/calibrated_workload.h"
+#include "src/trace/synth_workload.h"
+#include "src/util/atomic_file.h"
+#include "src/util/hash.h"
+#include "src/util/parse.h"
+
+namespace mobisim {
+
+namespace {
+
+constexpr char kEntryMagic[4] = {'M', 'T', 'C', '1'};
+constexpr char kEntrySuffix[] = ".mtc";
+// Fixed wire size of one BlockRecord: i64 + u8 + u64 + u32 + u32.
+constexpr std::size_t kRecordBytes = 8 + 1 + 8 + 4 + 4;
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t GetU32(const std::string& data, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t GetU64(const std::string& data, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+void AppendCalibratedConfig(std::ostringstream& out,
+                            const CalibratedWorkloadConfig& c) {
+  out << "generator = calibrated\n"
+      << "name = " << c.name << "\n"
+      << "duration_sec = " << CanonicalDouble(c.duration_sec) << "\n"
+      << "distinct_kbytes = " << c.distinct_kbytes << "\n"
+      << "read_fraction = " << CanonicalDouble(c.read_fraction) << "\n"
+      << "block_bytes = " << c.block_bytes << "\n"
+      << "mean_read_blocks = " << CanonicalDouble(c.mean_read_blocks) << "\n"
+      << "mean_write_blocks = " << CanonicalDouble(c.mean_write_blocks) << "\n"
+      << "short_fraction = " << CanonicalDouble(c.short_fraction) << "\n"
+      << "short_mean_sec = " << CanonicalDouble(c.short_mean_sec) << "\n"
+      << "long_mean_sec = " << CanonicalDouble(c.long_mean_sec) << "\n"
+      << "max_gap_sec = " << CanonicalDouble(c.max_gap_sec) << "\n"
+      << "delete_fraction = " << CanonicalDouble(c.delete_fraction) << "\n"
+      << "file_count = " << c.file_count << "\n"
+      << "mean_file_kbytes = " << CanonicalDouble(c.mean_file_kbytes) << "\n"
+      << "zipf_skew = " << CanonicalDouble(c.zipf_skew) << "\n"
+      << "sequential_fraction = " << CanonicalDouble(c.sequential_fraction) << "\n"
+      << "drift_cycles = " << CanonicalDouble(c.drift_cycles) << "\n"
+      << "seed = " << c.seed << "\n";
+}
+
+void AppendSynthConfig(std::ostringstream& out, const SynthWorkloadConfig& c) {
+  out << "generator = synth\n"
+      << "dataset_bytes = " << c.dataset_bytes << "\n"
+      << "file_bytes = " << c.file_bytes << "\n"
+      << "op_count = " << c.op_count << "\n"
+      << "hot_access_fraction = " << CanonicalDouble(c.hot_access_fraction) << "\n"
+      << "hot_data_fraction = " << CanonicalDouble(c.hot_data_fraction) << "\n"
+      << "read_fraction = " << CanonicalDouble(c.read_fraction) << "\n"
+      << "write_fraction = " << CanonicalDouble(c.write_fraction) << "\n"
+      << "short_fraction = " << CanonicalDouble(c.short_fraction) << "\n"
+      << "short_mean_ms = " << CanonicalDouble(c.short_mean_ms) << "\n"
+      << "long_base_ms = " << CanonicalDouble(c.long_base_ms) << "\n"
+      << "long_exp_mean_ms = " << CanonicalDouble(c.long_exp_mean_ms) << "\n"
+      << "seed = " << c.seed << "\n";
+}
+
+bool IsEntryName(const std::string& name) {
+  const std::string suffix(kEntrySuffix);
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::string CanonicalTraceKeyText(const std::string& workload, double scale,
+                                  std::uint64_t seed, std::uint32_t format_version) {
+  // Mirrors GenerateNamedWorkload exactly: the key captures the *effective*
+  // generator configuration, so a change to any preset constant (or to how
+  // scale/seed feed in) produces a different fingerprint.
+  std::ostringstream out;
+  out << "mobisim-trace-cache v" << format_version << "\n"
+      << "workload = " << workload << "\n"
+      << "scale = " << CanonicalDouble(scale) << "\n"
+      << "request_seed = " << seed << "\n";
+  if (workload == "synth") {
+    SynthWorkloadConfig config;
+    config.op_count = std::max<std::uint32_t>(
+        16, static_cast<std::uint32_t>(static_cast<double>(config.op_count) * scale));
+    config.seed = seed;
+    AppendSynthConfig(out, config);
+  } else if (workload == "mac" || workload == "dos" || workload == "pc" ||
+             workload == "hp") {
+    CalibratedWorkloadConfig config;
+    if (workload == "mac") {
+      config = MacWorkloadConfig(scale);
+    } else if (workload == "hp") {
+      config = HpWorkloadConfig(scale);
+    } else {
+      config = DosWorkloadConfig(scale);
+    }
+    config.seed += seed;
+    AppendCalibratedConfig(out, config);
+  } else {
+    // Unknown names MOBISIM_CHECK-fail at generation time; the key is only
+    // ever used for lookups that will fail the same way.
+    out << "generator = unknown\n";
+  }
+  return out.str();
+}
+
+std::string TraceCacheFingerprint(const std::string& workload, double scale,
+                                  std::uint64_t seed, std::uint32_t format_version) {
+  return HexU64(Fnv1a64(CanonicalTraceKeyText(workload, scale, seed, format_version)));
+}
+
+std::string SerializeBlockTrace(const BlockTrace& trace) {
+  std::string out;
+  out.reserve(64 + trace.name.size() + trace.records.size() * kRecordBytes);
+  out.append(kEntryMagic, sizeof(kEntryMagic));
+  PutU32(&out, kTraceCacheFormatVersion);
+  PutU32(&out, static_cast<std::uint32_t>(trace.name.size()));
+  out.append(trace.name);
+  PutU32(&out, trace.block_bytes);
+  PutU64(&out, trace.total_blocks);
+  PutU64(&out, static_cast<std::uint64_t>(trace.records.size()));
+  for (const BlockRecord& rec : trace.records) {
+    PutU64(&out, static_cast<std::uint64_t>(rec.time_us));
+    out.push_back(static_cast<char>(rec.op));
+    PutU64(&out, rec.lba);
+    PutU32(&out, rec.block_count);
+    PutU32(&out, rec.file_id);
+  }
+  // Footer: hash of everything before it.  Length is implicit — the record
+  // count fixes the exact file size, so truncation fails before hashing.
+  PutU64(&out, Fnv1a64(out.data(), out.size()));
+  return out;
+}
+
+std::optional<BlockTrace> DeserializeBlockTrace(const std::string& data,
+                                                std::string* error) {
+  // Fixed-size pieces: magic + version + name_len ... + record_count.
+  constexpr std::size_t kFixedHeader = 4 + 4 + 4 + 4 + 8 + 8;
+  constexpr std::size_t kFooter = 8;
+  if (data.size() < kFixedHeader + kFooter) {
+    SetError(error, "entry truncated (shorter than header)");
+    return std::nullopt;
+  }
+  if (data.compare(0, sizeof(kEntryMagic), kEntryMagic, sizeof(kEntryMagic)) != 0) {
+    SetError(error, "bad magic");
+    return std::nullopt;
+  }
+  std::size_t pos = sizeof(kEntryMagic);
+  const std::uint32_t version = GetU32(data, pos);
+  pos += 4;
+  if (version != kTraceCacheFormatVersion) {
+    SetError(error, "format version mismatch");
+    return std::nullopt;
+  }
+  const std::uint32_t name_len = GetU32(data, pos);
+  pos += 4;
+  if (name_len > data.size() - pos) {
+    SetError(error, "entry truncated (name)");
+    return std::nullopt;
+  }
+
+  BlockTrace trace;
+  trace.name = data.substr(pos, name_len);
+  pos += name_len;
+  if (data.size() - pos < 4 + 8 + 8 + kFooter) {
+    SetError(error, "entry truncated (header)");
+    return std::nullopt;
+  }
+  trace.block_bytes = GetU32(data, pos);
+  pos += 4;
+  trace.total_blocks = GetU64(data, pos);
+  pos += 8;
+  const std::uint64_t record_count = GetU64(data, pos);
+  pos += 8;
+
+  // The record count pins the exact file size; any other length is a torn
+  // or corrupted write.
+  const std::uint64_t payload = data.size() - pos - kFooter;
+  if (record_count > payload / kRecordBytes || record_count * kRecordBytes != payload) {
+    SetError(error, "entry truncated (records)");
+    return std::nullopt;
+  }
+  const std::uint64_t stored_hash = GetU64(data, data.size() - kFooter);
+  if (Fnv1a64(data.data(), data.size() - kFooter) != stored_hash) {
+    SetError(error, "footer hash mismatch");
+    return std::nullopt;
+  }
+
+  trace.records.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    BlockRecord rec;
+    rec.time_us = static_cast<SimTime>(GetU64(data, pos));
+    pos += 8;
+    const unsigned char op = static_cast<unsigned char>(data[pos]);
+    pos += 1;
+    if (op > static_cast<unsigned char>(OpType::kErase)) {
+      SetError(error, "bad op byte");
+      return std::nullopt;
+    }
+    rec.op = static_cast<OpType>(op);
+    rec.lba = GetU64(data, pos);
+    pos += 8;
+    rec.block_count = GetU32(data, pos);
+    pos += 4;
+    rec.file_id = GetU32(data, pos);
+    pos += 4;
+    trace.records.push_back(rec);
+  }
+  return trace;
+}
+
+TraceCache::TraceCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string TraceCache::EntryPath(const std::string& fingerprint) const {
+  return dir_ + "/" + fingerprint + kEntrySuffix;
+}
+
+std::shared_ptr<const BlockTrace> TraceCache::Load(const std::string& fingerprint) {
+  const std::string path = EntryPath(fingerprint);
+  std::string data;
+  if (!ReadFileToString(path, &data)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  auto trace = DeserializeBlockTrace(data);
+  if (!trace) {
+    // Torn or corrupted: drop the entry so the regenerated trace replaces
+    // it, and report the lookup as a (corrupt) miss.
+    std::remove(path.c_str());
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<const BlockTrace>(std::move(*trace));
+}
+
+bool TraceCache::Store(const std::string& fingerprint, const BlockTrace& trace,
+                       std::string* error) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    SetError(error, "cannot create cache dir " + dir_ + ": " + ec.message());
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (!WriteFileAtomic(EntryPath(fingerprint), SerializeBlockTrace(trace), error)) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+TraceCacheStats TraceCache::stats() const {
+  TraceCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string TraceCache::StatsLine() const {
+  const TraceCacheStats s = stats();
+  std::ostringstream out;
+  out << "trace-cache: hits=" << s.hits << " misses=" << s.misses
+      << " stores=" << s.stores << " corrupt=" << s.corrupt
+      << " errors=" << s.errors << " dir=" << dir_;
+  return out.str();
+}
+
+std::shared_ptr<const BlockTrace> LoadOrGenerateBlockTrace(TraceCache* cache,
+                                                           const std::string& workload,
+                                                           double scale,
+                                                           std::uint64_t seed) {
+  std::string fingerprint;
+  if (cache != nullptr) {
+    fingerprint = TraceCacheFingerprint(workload, scale, seed);
+    if (auto cached = cache->Load(fingerprint)) {
+      return cached;
+    }
+  }
+  const Trace trace = GenerateNamedWorkload(workload, scale, seed);
+  auto blocks = std::make_shared<const BlockTrace>(BlockMapper::Map(trace));
+  if (cache != nullptr) {
+    cache->Store(fingerprint, *blocks);  // best-effort; failure only counts
+  }
+  return blocks;
+}
+
+std::vector<TraceCacheEntry> ListTraceCache(const std::string& dir) {
+  std::vector<TraceCacheEntry> entries;
+  std::error_code ec;
+  for (const auto& item : std::filesystem::directory_iterator(dir, ec)) {
+    if (!item.is_regular_file(ec)) {
+      continue;
+    }
+    const std::string name = item.path().filename().string();
+    if (!IsEntryName(name)) {
+      continue;
+    }
+    TraceCacheEntry entry;
+    entry.path = item.path().string();
+    entry.fingerprint = name.substr(0, name.size() - (sizeof(kEntrySuffix) - 1));
+    entry.bytes = static_cast<std::uint64_t>(item.file_size(ec));
+    struct stat st {};
+    if (::stat(entry.path.c_str(), &st) == 0) {
+      entry.mtime = static_cast<std::int64_t>(st.st_mtime);
+    }
+    std::string data;
+    entry.valid =
+        ReadFileToString(entry.path, &data) && DeserializeBlockTrace(data).has_value();
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const TraceCacheEntry& a, const TraceCacheEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  return entries;
+}
+
+TraceCacheGcResult GcTraceCache(const std::string& dir, std::uint64_t max_bytes) {
+  TraceCacheGcResult result;
+  std::error_code ec;
+  // Leftover temp files (a writer that died mid-store) are garbage too.
+  for (const auto& item : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = item.path().filename().string();
+    if (name.find(".mtc.tmp.") != std::string::npos) {
+      result.removed_bytes += static_cast<std::uint64_t>(item.file_size(ec));
+      std::filesystem::remove(item.path(), ec);
+      ++result.removed;
+    }
+  }
+
+  std::vector<TraceCacheEntry> entries = ListTraceCache(dir);
+  std::uint64_t total = 0;
+  std::vector<TraceCacheEntry> valid;
+  for (TraceCacheEntry& entry : entries) {
+    if (!entry.valid) {
+      result.removed_bytes += entry.bytes;
+      std::remove(entry.path.c_str());
+      ++result.removed;
+      continue;
+    }
+    total += entry.bytes;
+    valid.push_back(std::move(entry));
+  }
+
+  // Oldest-first eviction down to the byte budget.
+  std::sort(valid.begin(), valid.end(),
+            [](const TraceCacheEntry& a, const TraceCacheEntry& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime
+                                        : a.fingerprint < b.fingerprint;
+            });
+  for (const TraceCacheEntry& entry : valid) {
+    if (max_bytes != 0 && total > max_bytes) {
+      total -= entry.bytes;
+      result.removed_bytes += entry.bytes;
+      std::remove(entry.path.c_str());
+      ++result.removed;
+    } else {
+      ++result.kept;
+      result.kept_bytes += entry.bytes;
+    }
+  }
+  return result;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,140 @@
+// Persistent, fingerprint-keyed cache of generated block traces.
+//
+// The paper's methodology (section 4.1) fixes the workload traces once and
+// reuses them across every device/configuration point; this cache gives
+// repeated sweeps the same discipline across *processes*.  A generated
+// BlockTrace is stored under `<dir>/<fingerprint>.mtc`, where the
+// fingerprint is the 64-bit FNV-1a hash of a canonical rendering of the
+// full workload configuration (every generator parameter, not just the
+// name), the scale, the seed, and the trace-format version — so any change
+// to the generators, the block mapper, or the entry format invalidates old
+// entries instead of silently replaying stale traces.
+//
+// Entries are written atomically (unique temp file + fsync + rename, see
+// src/util/atomic_file.h) and carry a length/hash footer; readers validate
+// both and treat a torn or corrupted entry as a miss, delete it, and let
+// the caller regenerate.  Concurrent writers are safe: last rename wins and
+// every intermediate state is a complete, valid file.  A cached load is
+// bit-identical to generation — BlockTrace holds only integral fields, and
+// the serialization is exact — so results are byte-identical with the cache
+// on, off, cold, or warm.
+#ifndef MOBISIM_SRC_TRACE_TRACE_CACHE_H_
+#define MOBISIM_SRC_TRACE_TRACE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_record.h"
+
+namespace mobisim {
+
+// Bump whenever the workload generators, BlockMapper, or the on-disk entry
+// layout change in any way that affects the produced BlockTrace: the
+// version participates in the fingerprint, so old entries simply miss.
+constexpr std::uint32_t kTraceCacheFormatVersion = 1;
+
+// Canonical key text for a named workload at (scale, seed): the format
+// version plus every parameter of the generator configuration the workload
+// name resolves to, rendered round-trip-exactly.  `format_version` is a
+// parameter so tests can prove that a version bump invalidates.
+std::string CanonicalTraceKeyText(const std::string& workload, double scale,
+                                  std::uint64_t seed,
+                                  std::uint32_t format_version = kTraceCacheFormatVersion);
+
+// 16-hex-digit FNV-1a fingerprint of CanonicalTraceKeyText.
+std::string TraceCacheFingerprint(const std::string& workload, double scale,
+                                  std::uint64_t seed,
+                                  std::uint32_t format_version = kTraceCacheFormatVersion);
+
+// Exact binary serialization of a BlockTrace (little-endian, with a
+// trailing FNV-1a hash footer).  Deserialize returns std::nullopt on any
+// truncation, corruption, or version mismatch, describing it in `error`.
+std::string SerializeBlockTrace(const BlockTrace& trace);
+std::optional<BlockTrace> DeserializeBlockTrace(const std::string& data,
+                                                std::string* error = nullptr);
+
+struct TraceCacheStats {
+  std::uint64_t hits = 0;      // entries loaded from disk
+  std::uint64_t misses = 0;    // lookups that required generation
+  std::uint64_t stores = 0;    // entries written
+  std::uint64_t corrupt = 0;   // invalid entries detected (and removed)
+  std::uint64_t errors = 0;    // store failures (cache stayed best-effort)
+};
+
+// The persistent cache directory.  Thread-safe: Load/Store may be called
+// concurrently from sweep workers (stats are atomic, writes are atomic
+// renames of unique temp files).  All failures are soft — a missing or
+// unwritable directory degrades to generating every trace, never to a
+// failed run.
+class TraceCache {
+ public:
+  explicit TraceCache(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string EntryPath(const std::string& fingerprint) const;
+
+  // Returns the cached trace, or nullptr on a miss.  A corrupted or torn
+  // entry counts as a miss (and `corrupt`), and the bad file is removed so
+  // the regenerated trace can be re-stored.
+  std::shared_ptr<const BlockTrace> Load(const std::string& fingerprint);
+
+  // Stores the trace under the fingerprint, creating the cache directory if
+  // needed.  Best-effort: returns false (and counts `errors`) on failure.
+  bool Store(const std::string& fingerprint, const BlockTrace& trace,
+             std::string* error = nullptr);
+
+  TraceCacheStats stats() const;
+  // One-line summary for the drivers' stderr reporting, e.g.
+  //   trace-cache: hits=12 misses=0 stores=0 corrupt=0 errors=0 dir=/x
+  std::string StatsLine() const;
+
+ private:
+  std::string dir_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+// The one code path every consumer shares: load the (workload, scale, seed)
+// trace from `cache`, or generate + map + store it.  `cache` may be null
+// (plain generation).  Exceptions from unknown workload names propagate
+// exactly as GenerateNamedWorkload's do.
+std::shared_ptr<const BlockTrace> LoadOrGenerateBlockTrace(TraceCache* cache,
+                                                           const std::string& workload,
+                                                           double scale,
+                                                           std::uint64_t seed);
+
+// Maintenance view of a cache directory (the `trace-cache stats` / `gc`
+// subcommands of mobisim_bench).
+struct TraceCacheEntry {
+  std::string fingerprint;
+  std::string path;
+  std::uint64_t bytes = 0;
+  std::int64_t mtime = 0;  // seconds since epoch, for age-ordered eviction
+  bool valid = false;      // footer and length verified
+};
+
+// Lists `<dir>/*.mtc`, validating each entry; empty for a missing dir.
+std::vector<TraceCacheEntry> ListTraceCache(const std::string& dir);
+
+struct TraceCacheGcResult {
+  std::size_t removed = 0;
+  std::size_t kept = 0;
+  std::uint64_t removed_bytes = 0;
+  std::uint64_t kept_bytes = 0;
+};
+
+// Deletes every invalid entry and any leftover temp files, then evicts the
+// oldest valid entries until the directory holds at most `max_bytes`
+// (0 = no size limit, invalid-entry cleanup only).
+TraceCacheGcResult GcTraceCache(const std::string& dir, std::uint64_t max_bytes);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_TRACE_TRACE_CACHE_H_

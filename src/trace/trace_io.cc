@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/util/atomic_file.h"
+
 namespace mobisim {
 
 namespace {
@@ -102,12 +104,15 @@ std::optional<Trace> ReadTrace(std::istream& in, std::string* error) {
 }
 
 bool WriteTraceFile(const Trace& trace, const std::string& path) {
-  std::ofstream out(path);
+  // Serialize in memory, then publish atomically: a crash, a full disk, or
+  // a concurrent writer must never leave a silently truncated trace file
+  // that a later run would trust.
+  std::ostringstream out;
+  WriteTrace(trace, out);
   if (!out) {
     return false;
   }
-  WriteTrace(trace, out);
-  return static_cast<bool>(out);
+  return WriteFileAtomic(path, out.str());
 }
 
 std::optional<Trace> ReadTraceFile(const std::string& path, std::string* error) {

@@ -21,7 +21,9 @@ void WriteTrace(const Trace& trace, std::ostream& out);
 // `error` when non-null.
 std::optional<Trace> ReadTrace(std::istream& in, std::string* error = nullptr);
 
-// File-path convenience wrappers.
+// File-path convenience wrappers.  Writes are atomic (temp file + fsync +
+// rename) and return false on any write error, so a crash or full disk
+// never leaves a truncated trace file behind.
 bool WriteTraceFile(const Trace& trace, const std::string& path);
 std::optional<Trace> ReadTraceFile(const std::string& path, std::string* error = nullptr);
 

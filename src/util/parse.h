@@ -1,0 +1,74 @@
+// Strict, total-input numeric parsing.
+//
+// std::stod / std::stoull are hostile primitives for config parsing: they
+// throw on overflow, accept partial prefixes, silently wrap negative input
+// into huge unsigned values ("-1" -> 2^64-1), and happily return nan/inf.
+// Every config and flag parser in mobisim goes through these helpers
+// instead, so a malformed value like `1e999`, `nan`, or `-1` becomes a
+// clean std::nullopt for the caller's own error message — never an
+// uncaught exception, a NaN poisoning a simulation, or a silent wrap.
+#ifndef MOBISIM_SRC_UTIL_PARSE_H_
+#define MOBISIM_SRC_UTIL_PARSE_H_
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace mobisim {
+
+// Parses a finite double from the entire string.  Rejects empty input,
+// leading whitespace, trailing garbage, nan, and +/-inf (including values
+// like 1e999 that overflow to inf).
+inline std::optional<double> ParseFiniteDouble(const std::string& text) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0])) != 0) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || !std::isfinite(value)) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::exception&) {  // invalid_argument or out_of_range
+    return std::nullopt;
+  }
+}
+
+// Parses a decimal std::uint64_t from the entire string: digits only — no
+// sign (so "-1" cannot wrap), no whitespace, no base prefix — with explicit
+// overflow detection.
+inline std::optional<std::uint64_t> ParseUint64(const std::string& text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+// Round-trip-exact double rendering (%.17g), the canonical form used in
+// fingerprinted text: insensitive to how a value was originally spelled but
+// sensitive to any actual change.
+inline std::string CanonicalDouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_PARSE_H_

@@ -19,6 +19,19 @@ TEST(ParseSizeTest, SuffixesAndPlainBytes) {
   EXPECT_FALSE(ParseSize("-5k").has_value());
 }
 
+TEST(ParseSizeTest, RejectsNonFiniteAndOverflowingValues) {
+  // NaN/inf would sail through naive `v < 0` checks; 1e999 overflows the
+  // double parse; huge suffixed sizes would hit undefined behaviour in the
+  // double -> uint64 cast.  All must be plain parse errors.
+  EXPECT_FALSE(ParseSize("nan").has_value());
+  EXPECT_FALSE(ParseSize("inf").has_value());
+  EXPECT_FALSE(ParseSize("1e999").has_value());
+  EXPECT_FALSE(ParseSize("99999999999g").has_value());
+  EXPECT_FALSE(ParseSize("18446744073709551616").has_value());  // 2^64
+  EXPECT_FALSE(ParseSize("1 2k").has_value());
+  EXPECT_EQ(ParseSize("1e3"), 1000u);  // scientific notation itself is fine
+}
+
 TEST(ParseBoolTest, Variants) {
   EXPECT_EQ(ParseBool("true"), true);
   EXPECT_EQ(ParseBool("ON"), true);
@@ -80,10 +93,35 @@ separate_cleaning = true
   EXPECT_TRUE(config->separate_cleaning_segment);
 }
 
+TEST(ApplyAssignmentTest, RejectsNonFiniteNumbers) {
+  // NaN fails both `v < 0.0` and `v >= 1.0`, so a naive range check would
+  // accept it and poison every downstream comparison; 1e999 is out of
+  // double range.  Both must be value errors that name the key.
+  SimConfig config;
+  std::string error;
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "utilization", "nan", &error));
+  EXPECT_NE(error.find("utilization"), std::string::npos);
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "warm_fraction", "nan", &error));
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "spin_down", "inf", &error));
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "spin_down", "1e999", &error));
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "dram", "1e999", &error));
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "fault.transient_error_rate", "nan", &error));
+  EXPECT_FALSE(ApplyConfigAssignment(&config, "fault.endurance_scale", "nan", &error));
+}
+
 TEST(ParseConfigTextTest, ReportsLineNumbers) {
   std::string error;
   EXPECT_FALSE(ParseConfigText("device = intel-datasheet\nbogus line\n", &error));
   EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ParseConfigTextTest, ReportsLineAndKeyForMalformedNumbers) {
+  std::string error;
+  EXPECT_FALSE(ParseConfigText("device = intel-datasheet\ndram = 1e999\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("dram"), std::string::npos) << error;
+  EXPECT_FALSE(ParseConfigText("utilization = nan\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
 }
 
 TEST(ApplyConfigArgsTest, SeparatesUnknownTokens) {

@@ -104,6 +104,30 @@ TEST(ExperimentSpecTest, RejectsBadInput) {
   EXPECT_FALSE(ParseExperimentSpec("no equals sign\n", &error).has_value());
 }
 
+TEST(ExperimentSpecTest, RejectsMalformedNumbersWithLineAndKey) {
+  std::string error;
+  // NaN passes naive `< 0 || >= 1` range checks (both comparisons are
+  // false), 1e999 overflows the double parse, and "-1" silently wraps
+  // through an unsigned parse to 2^64-1.  All must be clean spec errors.
+  EXPECT_FALSE(ParseExperimentSpec("scale = nan\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("scale"), std::string::npos) << error;
+
+  EXPECT_FALSE(ParseExperimentSpec("scale = 1e999\n", &error).has_value());
+  EXPECT_FALSE(ParseExperimentSpec("utilizations = nan\n", &error).has_value());
+  EXPECT_FALSE(ParseExperimentSpec("power_loss_intervals = inf\n", &error).has_value());
+
+  EXPECT_FALSE(ParseExperimentSpec("seeds = -1\n", &error).has_value());
+  EXPECT_NE(error.find("-1"), std::string::npos) << error;
+  EXPECT_FALSE(ParseExperimentSpec("seeds = abc\n", &error).has_value());
+  EXPECT_FALSE(ParseExperimentSpec("replicas = 1x\n", &error).has_value());
+
+  // Errors report the offending line in multi-line specs.
+  EXPECT_FALSE(
+      ParseExperimentSpec("workloads = mac\nseeds = 1, -1\n", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
 // The core guarantee of the engine: fanning a grid across threads changes
 // nothing about the numbers.  Counters must match bitwise; floats are
 // compared with a tolerance (they are in fact identical too, since each
