@@ -22,6 +22,13 @@
 // --shard K/N keeps only points with index % N == K (indices stay global, so
 // shards from different machines merge by concatenating their JSONL).
 //
+// --merge DIR runs no sweep: it merges a directory of shard JSONL outputs
+// (or a sweepd spool) into one run — rows in global point-index order,
+// exact duplicates collapsed by point fingerprint, clean retry rows
+// replacing `_error` rows — and exports it through the usual sinks (JSONL
+// to stdout when none are given).  The same code path serves
+// `mobisim_sweepd merge`, so the two tools cannot disagree about dedup.
+//
 // --list prints the enumerated grid without running it, then the registered
 // benches of the canned paper experiments (run those with `mobisim_bench`).
 //
@@ -45,6 +52,7 @@
 #include "src/runner/experiment_spec.h"
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep_runner.h"
+#include "src/sweepd/merge.h"
 #include "src/trace/trace_cache.h"
 #include "src/util/parse.h"
 #include "src/util/table.h"
@@ -57,7 +65,7 @@ using namespace mobisim;
 int Usage() {
   std::fprintf(stderr,
                "usage: mobisim_sweep [--spec FILE] [key=value ...] [--list]\n"
-               "                     [--shard K/N] [common flags]\n"
+               "                     [--shard K/N] [--merge DIR] [common flags]\n"
                "%s"
                "sweep keys: devices workloads utilizations dram_sizes sram_sizes\n"
                "            cleaning_policies power_loss_intervals seeds scale\n"
@@ -65,23 +73,6 @@ int Usage() {
                "plus any base-config key from src/core/config_text.h\n",
                CommonFlagsUsage());
   return 2;
-}
-
-bool ParseShard(const std::string& text, std::size_t* shard, std::size_t* shards) {
-  const std::size_t slash = text.find('/');
-  if (slash == std::string::npos) {
-    return false;
-  }
-  // Strict digits-only parsing: "1x/2" or "0/-3" is a usage error, never an
-  // uncaught std::invalid_argument or a silent unsigned wrap.
-  const auto k = ParseUint64(text.substr(0, slash));
-  const auto n = ParseUint64(text.substr(slash + 1));
-  if (!k || !n || *n == 0 || *k >= *n) {
-    return false;
-  }
-  *shard = static_cast<std::size_t>(*k);
-  *shards = static_cast<std::size_t>(*n);
-  return true;
 }
 
 int RunMain(int argc, char** argv) {
@@ -97,6 +88,7 @@ int RunMain(int argc, char** argv) {
   std::size_t shard = 0;
   std::size_t shards = 1;
   bool list_only = false;
+  std::string merge_dir;
 
   std::vector<std::string> assignments;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -120,9 +112,22 @@ int RunMain(int argc, char** argv) {
       }
       spec = *parsed;
     } else if (args[i] == "--shard") {
-      if (i + 1 >= args.size() || !ParseShard(args[++i], &shard, &shards)) {
+      // Strict K/N validation with a named error: a typo'd shard must never
+      // silently run the wrong (or an empty) slice of the grid.
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: --shard requires a K/N argument\n");
         return Usage();
       }
+      if (!ParseShardSpec(args[++i], &shard, &shards, &error)) {
+        std::fprintf(stderr, "error: --shard: %s\n", error.c_str());
+        return Usage();
+      }
+    } else if (args[i] == "--merge") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: --merge requires a directory argument\n");
+        return Usage();
+      }
+      merge_dir = args[++i];
     } else if (args[i] == "--list") {
       list_only = true;
     } else if (args[i].find('=') != std::string::npos) {
@@ -132,6 +137,22 @@ int RunMain(int argc, char** argv) {
       return Usage();
     }
   }
+  if (!merge_dir.empty()) {
+    // Merge mode runs no sweep: collect shard outputs, dedup, export.
+    if (!assignments.empty() || shards > 1 || list_only) {
+      std::fprintf(stderr, "error: --merge takes no spec, shard, or list flags\n");
+      return Usage();
+    }
+    const auto merged = MergeShardDir(merge_dir, &error);
+    if (!merged) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    return ExportMergedRun(*merged, common,
+                           common.db_name.empty() ? "sweep" : common.db_name, "",
+                           "mobisim_sweep");
+  }
+
   for (const std::string& token : assignments) {
     const std::size_t eq = token.find('=');
     if (!ApplySpecAssignment(&spec, token.substr(0, eq), token.substr(eq + 1), &error)) {
@@ -148,18 +169,9 @@ int RunMain(int argc, char** argv) {
     spec.replicas = *common.replicas;
   }
 
-  std::vector<ExperimentPoint> points = EnumerateGrid(spec);
-  if (shards > 1) {
-    // Keep global indices: shards from different machines merge by
-    // concatenation and still join by point index.
-    std::vector<ExperimentPoint> mine;
-    for (ExperimentPoint& point : points) {
-      if (point.index % shards == shard) {
-        mine.push_back(std::move(point));
-      }
-    }
-    points = std::move(mine);
-  }
+  // Keep global indices: shards from different machines merge by
+  // concatenation and still join by point index.
+  std::vector<ExperimentPoint> points = FilterShard(EnumerateGrid(spec), shard, shards);
   if (!common.quiet) {
     std::fprintf(stderr, "mobisim_sweep: %s\n", DescribeSpec(spec).c_str());
     if (shards > 1) {

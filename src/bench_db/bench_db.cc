@@ -1,8 +1,12 @@
 #include "src/bench_db/bench_db.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+
+#include "src/util/atomic_file.h"
 
 namespace mobisim {
 
@@ -117,6 +121,136 @@ std::optional<std::string> BenchDb::StoreRun(RunMeta meta,
   index << RowToJson(MetaToRow(meta)) << "\n";
   if (!index) {
     SetError(error, "write failed for " + root_ + "/index.jsonl");
+    return std::nullopt;
+  }
+  return path;
+}
+
+namespace {
+
+// Global point index of a data row, or nullopt for rows without one (those
+// cannot be merged incrementally and are rejected by MergeRun).
+std::optional<std::uint64_t> RowPointIndex(const ResultRow& row) {
+  const ResultField* field = row.Find("point");
+  if (field == nullptr || field->quoted) {
+    return std::nullopt;
+  }
+  const double value = row.Number("point", -1.0);
+  if (value < 0.0) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+bool IsErrorRow(const ResultRow& row) { return row.Find("_error") != nullptr; }
+
+}  // namespace
+
+std::optional<std::string> BenchDb::MergeRun(RunMeta meta,
+                                             const std::vector<ResultRow>& rows,
+                                             std::string* error) {
+  const std::string path = RunPath(meta.git_sha, meta.spec_name);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return StoreRun(std::move(meta), rows, error);
+  }
+  std::string load_error;
+  auto existing = LoadRunFile(path, &load_error);
+  if (!existing) {
+    SetError(error, "merge target " + path + ": " + load_error);
+    return std::nullopt;
+  }
+  if (existing->has_meta && !meta.spec_hash.empty() &&
+      existing->meta.spec_hash != meta.spec_hash) {
+    SetError(error, path + ": spec fingerprint mismatch (stored " +
+                        existing->meta.spec_hash + ", incoming " + meta.spec_hash +
+                        "); refusing to merge rows of a different experiment");
+    return std::nullopt;
+  }
+
+  // Union by global point index; point order in the merged file.
+  std::map<std::uint64_t, ResultRow> merged;
+  for (ResultRow& row : existing->rows) {
+    const auto index = RowPointIndex(row);
+    if (!index) {
+      SetError(error, path + ": stored data row without a point index");
+      return std::nullopt;
+    }
+    merged.emplace(*index, std::move(row));
+  }
+  bool changed = false;
+  for (const ResultRow& row : rows) {
+    const auto index = RowPointIndex(row);
+    if (!index) {
+      SetError(error, "incoming row without a point index cannot be merged");
+      return std::nullopt;
+    }
+    const auto it = merged.find(*index);
+    if (it == merged.end()) {
+      merged.emplace(*index, row);
+      changed = true;
+      continue;
+    }
+    const std::string stored_json = RowToJson(it->second);
+    const std::string incoming_json = RowToJson(row);
+    if (stored_json == incoming_json) {
+      continue;  // idempotent re-merge
+    }
+    if (IsErrorRow(it->second) && !IsErrorRow(row)) {
+      it->second = row;  // a retry succeeded: the clean row wins
+      changed = true;
+    } else if (!IsErrorRow(it->second) && IsErrorRow(row)) {
+      // A stale retry failed after the point already succeeded: keep success.
+    } else if (IsErrorRow(it->second)) {
+      // Both failed: keep the newer message (later attempt).
+      it->second = row;
+      changed = true;
+    } else {
+      SetError(error, "point " + std::to_string(*index) +
+                          ": conflicting non-error rows; these are not shards "
+                          "of the same deterministic sweep");
+      return std::nullopt;
+    }
+  }
+  if (!changed) {
+    return path;  // nothing to write: re-merging changes nothing, byte for byte
+  }
+
+  // The run keeps its original identity (created / host); only the row set
+  // and point count move.
+  RunMeta header = existing->has_meta ? existing->meta : meta;
+  header.points = merged.size();
+  std::ostringstream out;
+  out << RowToJson(MetaToRow(header)) << "\n";
+  for (const auto& [index, row] : merged) {
+    (void)index;
+    out << RowToJson(row) << "\n";
+  }
+  std::string write_error;
+  if (!WriteFileAtomic(path, out.str(), &write_error)) {
+    SetError(error, write_error);
+    return std::nullopt;
+  }
+
+  // Update (not append) the manifest entry so Verify() keeps passing and
+  // repeated merges never grow the index.
+  std::vector<RunMeta> entries = ReadIndex(nullptr);
+  bool found = false;
+  for (RunMeta& entry : entries) {
+    if (entry.git_sha == header.git_sha && entry.spec_name == header.spec_name) {
+      entry = header;
+      found = true;
+    }
+  }
+  if (!found) {
+    entries.push_back(header);
+  }
+  std::ostringstream index_out;
+  for (const RunMeta& entry : entries) {
+    index_out << RowToJson(MetaToRow(entry)) << "\n";
+  }
+  if (!WriteFileAtomic(root_ + "/index.jsonl", index_out.str(), &write_error)) {
+    SetError(error, write_error);
     return std::nullopt;
   }
   return path;

@@ -51,6 +51,20 @@ class BenchDb {
   std::optional<std::string> StoreRun(RunMeta meta, const std::vector<ResultRow>& rows,
                                       std::string* error);
 
+  // Incremental, idempotent union of `rows` into the run identified by
+  // (meta.git_sha, meta.spec_name).  A missing run behaves like StoreRun.
+  // An existing run must carry the same spec fingerprint (merging rows of a
+  // different experiment is refused); rows join by their global `point`
+  // index, the merged file is rewritten atomically in point order, and the
+  // manifest entry is updated in place rather than appended — so merging
+  // the same rows twice changes nothing, byte for byte.  Conflicts resolve
+  // toward success: a clean row replaces a stored `_error` row for the same
+  // point (a retry landed), an `_error` row never replaces a clean one, and
+  // two differing clean rows for one point are an error (two different
+  // sweeps are being merged).  Returns the file path, or nullopt + `error`.
+  std::optional<std::string> MergeRun(RunMeta meta, const std::vector<ResultRow>& rows,
+                                      std::string* error);
+
   // All manifest entries, oldest first.  Missing index file -> empty store.
   std::vector<RunMeta> ReadIndex(std::string* error) const;
 

@@ -111,6 +111,33 @@ bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
   return true;
 }
 
+bool ParseShardSpec(const std::string& text, std::size_t* shard,
+                    std::size_t* shards, std::string* error) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    *error = "shard '" + text + "' must be K/N (e.g. 0/4)";
+    return false;
+  }
+  const auto k = ParseUint64(text.substr(0, slash));
+  const auto n = ParseUint64(text.substr(slash + 1));
+  if (!k || !n) {
+    *error = "shard '" + text + "' wants two non-negative integers K/N";
+    return false;
+  }
+  if (*n == 0) {
+    *error = "shard '" + text + "' has a zero shard count";
+    return false;
+  }
+  if (*k >= *n) {
+    *error = "shard index " + std::to_string(*k) + " must be < shard count " +
+             std::to_string(*n);
+    return false;
+  }
+  *shard = static_cast<std::size_t>(*k);
+  *shards = static_cast<std::size_t>(*n);
+  return true;
+}
+
 const char* CommonFlagsUsage() {
   return "common flags: [--jobs N | --serial] [--seed N] [--replicas N]\n"
          "              [--jsonl FILE|-] [--csv FILE|-]\n"

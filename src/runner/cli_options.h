@@ -70,6 +70,14 @@ bool ExtractCommonFlags(std::vector<std::string>* args, CliOptions* options,
 // The usage fragment describing the common flags, for per-tool usage text.
 const char* CommonFlagsUsage();
 
+// Parses a `K/N` shard designator strictly: both sides must be plain
+// digits, N > 0 and K < N.  Anything else returns false with a message in
+// `error` naming exactly what is wrong — a bad shard must be a loud usage
+// error, never a silently empty or wrong shard.  Shared by mobisim_sweep
+// --shard and the sweepd work-item splitter.
+bool ParseShardSpec(const std::string& text, std::size_t* shard,
+                    std::size_t* shards, std::string* error);
+
 // Opens the persistent trace cache the options ask for; null when disabled.
 // The directory is created lazily on first store, so a bad path degrades to
 // generating every trace rather than failing the run.

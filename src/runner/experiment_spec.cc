@@ -164,6 +164,31 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
   return points;
 }
 
+std::vector<ExperimentPoint> FilterShard(std::vector<ExperimentPoint> points,
+                                         std::size_t shard, std::size_t shards) {
+  if (shards <= 1) {
+    return points;
+  }
+  std::vector<ExperimentPoint> mine;
+  for (ExperimentPoint& point : points) {
+    if (point.index % shards == shard) {
+      mine.push_back(std::move(point));
+    }
+  }
+  return mine;
+}
+
+std::vector<ExperimentPoint> FilterPoints(std::vector<ExperimentPoint> points,
+                                          const std::vector<std::size_t>& indices) {
+  std::vector<ExperimentPoint> mine;
+  for (ExperimentPoint& point : points) {
+    if (std::find(indices.begin(), indices.end(), point.index) != indices.end()) {
+      mine.push_back(std::move(point));
+    }
+  }
+  return mine;
+}
+
 bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
                          const std::string& raw_value, std::string* error) {
   std::string key = Trim(raw_key);

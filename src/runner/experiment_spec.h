@@ -76,6 +76,19 @@ std::size_t GridSize(const ExperimentSpec& spec);
 // metrics so all rows in a sweep share one schema.
 std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec);
 
+// Keeps only the points of shard `shard` out of `shards` (index % shards ==
+// shard).  Point indices stay global, so shard outputs from different
+// processes or machines merge by concatenation and still join by index.
+// This is the one sharding rule every dispatcher and worker must share.
+std::vector<ExperimentPoint> FilterShard(std::vector<ExperimentPoint> points,
+                                         std::size_t shard, std::size_t shards);
+
+// Keeps only the points whose global index appears in `indices` (order and
+// duplicates in `indices` are irrelevant; enumeration order is preserved).
+// This is how a dispatcher retries individual failed points of a shard.
+std::vector<ExperimentPoint> FilterPoints(std::vector<ExperimentPoint> points,
+                                          const std::vector<std::size_t>& indices);
+
 // Applies one `key = value` line: sweep keys here, anything else delegated to
 // ApplyConfigAssignment on the base config.  False + `error` on bad input.
 bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& key,

@@ -184,6 +184,9 @@ std::vector<SweepOutcome> RunSweep(const std::vector<ExperimentPoint>& points,
         }
         sink->Write(outcomes[next_emit].row);
       }
+      if (options.on_emit) {
+        options.on_emit(outcomes[next_emit]);
+      }
       ++next_emit;
     }
   };

@@ -13,6 +13,7 @@
 #define MOBISIM_SRC_RUNNER_SWEEP_RUNNER_H_
 
 #include <cstddef>
+#include <functional>
 #include <ostream>
 #include <vector>
 
@@ -23,6 +24,7 @@
 namespace mobisim {
 
 class TraceCache;
+struct SweepOutcome;
 
 struct SweepOptions {
   // Worker threads; 0 = one per hardware core, 1 = serial (no pool).
@@ -35,6 +37,12 @@ struct SweepOptions {
   // traces are loaded from / stored to it, borrowed for the call.  Results
   // are byte-identical with the cache on, off, cold, or warm.
   TraceCache* trace_cache = nullptr;
+  // Optional per-row hook, invoked in strict emission (point) order, after
+  // the sinks have seen the row, under the emission lock — so it may touch
+  // the sinks' streams (e.g. flush a spool file so a later crash loses at
+  // most the in-flight row) and update progress counters without its own
+  // locking.  Keep it cheap: it serializes emission.
+  std::function<void(const SweepOutcome&)> on_emit;
 };
 
 struct SweepOutcome {

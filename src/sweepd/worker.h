@@ -1,0 +1,60 @@
+// Worker process loop: claim shards from a spool, run them, stream rows.
+//
+// A worker is stateless by design — everything it needs (the canonical
+// spec, the shard arithmetic, a trace cache) is either in the spool or
+// derivable, so any number of workers on any machine sharing the spool
+// filesystem can serve one sweep, and a freshly respawned worker can pick
+// up where a dead one stopped: the dead worker's streamed part file is
+// read back, already-completed points are skipped, and only the remainder
+// is simulated.  Point results are deterministic, so a re-run of the same
+// point (duplicated work after a lease expires spuriously) merges away as
+// an exact-duplicate row.
+//
+// Failed points become `_error` rows (the sweep engine's fault
+// classification) rather than killing the shard; a shard that carries any
+// is "poisoned" and the worker's exit status says so, so a dispatcher can
+// retry exactly those points.
+#ifndef MOBISIM_SRC_SWEEPD_WORKER_H_
+#define MOBISIM_SRC_SWEEPD_WORKER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace mobisim {
+
+struct WorkerOptions {
+  std::string spool_root;
+  std::size_t jobs = 1;       // simulation threads inside this worker
+  std::uint64_t owner = 0;    // heartbeat owner id; 0 = getpid()
+  std::string trace_cache_dir;
+  double heartbeat_sec = 1.0;
+  std::ostream* log = nullptr;  // per-item progress lines; null = quiet
+
+  // Test hooks, used by the crash-recovery tests and the CI smoke job:
+  // sleep after each emitted row (so a status poll can observe a live run),
+  // and die via _Exit after emitting N rows in total — indistinguishable
+  // from `kill -9` at the spool level: the lease goes stale, the part file
+  // ends mid-shard, nothing is finalized.
+  std::size_t throttle_ms = 0;
+  std::size_t kill_after_rows = 0;  // 0 = never
+
+  static constexpr int kExitClean = 0;
+  static constexpr int kExitPoisoned = 3;  // finished, but with _error rows
+};
+
+struct WorkerSummary {
+  std::size_t items = 0;
+  std::size_t rows = 0;        // rows this worker simulated and streamed
+  std::size_t resumed = 0;     // rows inherited from dead predecessors
+  std::size_t error_rows = 0;  // poisoned points among its own rows
+  std::size_t lost_leases = 0;
+};
+
+// Claims and runs queued items until the queue is empty, then returns.
+// The process exit code should be kExitPoisoned when error_rows > 0.
+WorkerSummary RunWorkerLoop(const WorkerOptions& options);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_SWEEPD_WORKER_H_

@@ -1,0 +1,69 @@
+// Heartbeat files: how a worker process proves it is still alive.
+//
+// A lease-based dispatcher cannot ask a dead process anything, so liveness
+// is written to the shared filesystem instead: the worker rewrites a small
+// file every interval, and the dispatcher compares the file's mtime against
+// the lease deadline.  The file body carries a progress counter and an owner
+// id, so the dispatcher can also detect "my spawned worker with pid P died"
+// without waiting out the full lease.
+//
+// Writes go through WriteFileAtomic, so a reader never sees a torn
+// heartbeat even if the writer is killed mid-write.
+#ifndef MOBISIM_SRC_UTIL_HEARTBEAT_H_
+#define MOBISIM_SRC_UTIL_HEARTBEAT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace mobisim {
+
+struct HeartbeatRecord {
+  std::uint64_t counter = 0;  // progress units completed (e.g. rows written)
+  std::uint64_t owner = 0;    // writer's id (pid for spawned workers)
+};
+
+// Writes `record` to `path` atomically.  False with `error` set on failure.
+bool WriteHeartbeat(const std::string& path, const HeartbeatRecord& record,
+                    std::string* error = nullptr);
+
+// Parses a heartbeat file; nullopt when missing or malformed.
+std::optional<HeartbeatRecord> ReadHeartbeat(const std::string& path);
+
+// Seconds since `path` was last modified; nullopt when the file is missing.
+// This is the dispatcher's staleness test for lease expiry.
+std::optional<double> SecondsSinceModified(const std::string& path);
+
+// Background thread that rewrites a heartbeat file every `interval_sec`,
+// reading the live counter through `counter_fn` each beat.  One beat is
+// written immediately on Start (claiming a lease and proving liveness are
+// the same write).  Stop() (or destruction) writes a final beat and joins.
+class HeartbeatThread {
+ public:
+  HeartbeatThread() = default;
+  ~HeartbeatThread() { Stop(); }
+  HeartbeatThread(const HeartbeatThread&) = delete;
+  HeartbeatThread& operator=(const HeartbeatThread&) = delete;
+
+  void Start(std::string path, double interval_sec, std::uint64_t owner,
+             std::function<std::uint64_t()> counter_fn);
+  void Stop();
+
+ private:
+  std::string path_;
+  std::uint64_t owner_ = 0;
+  std::function<std::uint64_t()> counter_fn_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_HEARTBEAT_H_

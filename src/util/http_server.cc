@@ -1,0 +1,230 @@
+#include "src/util/http_server.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mobisim {
+
+namespace {
+
+// Short timeout on every socket read/write: a stalled peer drops its own
+// connection instead of wedging the accept loop (status polls are tiny).
+void SetIoTimeout(int fd) {
+  timeval tv{};
+  tv.tv_sec = 2;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << response.status << " " << StatusText(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << response.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << response.body;
+  return out.str();
+}
+
+// Reads until the end of the request headers (or the timeout); only the
+// request line is ever parsed.
+bool ReadRequestHead(int fd, std::string* head) {
+  char buf[1024];
+  while (head->find("\r\n\r\n") == std::string::npos &&
+         head->find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return !head->empty() && head->find('\n') != std::string::npos;
+    }
+    head->append(buf, static_cast<std::size_t>(n));
+    if (head->size() > 64 * 1024) {
+      return false;  // nobody sends 64 KB of headers to a status endpoint
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpResponse HttpNotFound() {
+  HttpResponse response;
+  response.status = 404;
+  response.body = "{\"error\":\"not found\"}\n";
+  return response;
+}
+
+bool HttpServer::Start(std::uint16_t port, Handler handler, std::string* error) {
+  Stop();
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    if (error != nullptr) {
+      *error = "bind 127.0.0.1:" + std::to_string(port) + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  // shutdown() wakes the blocked accept(); the loop then sees the closed fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  port_ = 0;
+}
+
+void HttpServer::AcceptLoop() {
+  const int listen_fd = listen_fd_;
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listening socket closed: Stop() was called
+    }
+    SetIoTimeout(fd);
+    std::string head;
+    if (ReadRequestHead(fd, &head)) {
+      HttpRequest request;
+      std::istringstream line(head.substr(0, head.find('\n')));
+      line >> request.method >> request.path;
+      HttpResponse response;
+      if (request.method != "GET") {
+        response.status = 405;
+        response.body = "{\"error\":\"GET only\"}\n";
+      } else {
+        response = handler_(request);
+      }
+      WriteAll(fd, RenderResponse(response));
+    }
+    ::close(fd);
+  }
+}
+
+bool HttpGet(std::uint16_t port, const std::string& path, std::string* body,
+             std::string* error, int* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = std::string("socket: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  SetIoTimeout(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "connect 127.0.0.1:" + std::to_string(port) + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    if (error != nullptr) {
+      *error = "send failed";
+    }
+    ::close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (error != nullptr) {
+      *error = "malformed HTTP response";
+    }
+    return false;
+  }
+  if (status != nullptr) {
+    // "HTTP/1.0 200 OK" -> 200; atoi semantics are fine for a 3-digit code.
+    const std::size_t space = response.find(' ');
+    *status = space == std::string::npos
+                  ? 0
+                  : std::atoi(response.c_str() + space + 1);
+  }
+  if (body != nullptr) {
+    *body = response.substr(header_end + 4);
+  }
+  return true;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,73 @@
+// Minimal embedded HTTP endpoint for local services.
+//
+// Deliberately tiny: GET-only HTTP/1.0-style request handling on a loopback
+// socket, one background accept thread, one connection served at a time.
+// That is exactly what a local sweep service needs for live status — a
+// browser or curl can poll it — without pulling in an HTTP library.  The
+// server never reads request bodies and closes the connection after every
+// response, so a slow or malicious client can stall at most one poll, never
+// the service itself (reads carry a short socket timeout).
+#ifndef MOBISIM_SRC_UTIL_HTTP_SERVER_H_
+#define MOBISIM_SRC_UTIL_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace mobisim {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/status" (query string included verbatim)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// 404 with a one-line JSON body; the default for unrouted paths.
+HttpResponse HttpNotFound();
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
+  // the accept thread.  Returns false with `error` set when the socket
+  // cannot be created or bound.  The handler runs on the accept thread.
+  bool Start(std::uint16_t port, Handler handler, std::string* error);
+
+  // The bound port (useful after Start(0)); 0 when not running.
+  std::uint16_t port() const { return port_; }
+  bool running() const { return listen_fd_ >= 0; }
+
+  // Closes the listening socket and joins the accept thread.  Idempotent.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+// Blocking GET against a local server: fetches `path` from 127.0.0.1:`port`
+// and stores the response body.  Returns false with `error` set on connect
+// or protocol failure.  `status` (when non-null) receives the HTTP status
+// code.  Used by the status CLI and by tests; not a general HTTP client.
+bool HttpGet(std::uint16_t port, const std::string& path, std::string* body,
+             std::string* error, int* status = nullptr);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_HTTP_SERVER_H_
