@@ -59,14 +59,16 @@ void PrintTrace(const std::string& workload, const std::vector<SweepOutcome>& ou
         .Cell(result.write_response_ms.mean(), 2)
         .Cell(result.write_response_ms.max(), 1)
         .Cell(result.write_response_ms.stddev(), 1);
+    const std::vector<double> rq = result.read_percentiles_ms.Quantiles({0.50, 0.95, 0.99});
+    const std::vector<double> wq = result.write_percentiles_ms.Quantiles({0.50, 0.95, 0.99});
     percentiles.BeginRow()
         .Cell(std::string(row.label))
-        .Cell(result.read_percentiles_ms.Quantile(0.50), 2)
-        .Cell(result.read_percentiles_ms.Quantile(0.95), 2)
-        .Cell(result.read_percentiles_ms.Quantile(0.99), 2)
-        .Cell(result.write_percentiles_ms.Quantile(0.50), 2)
-        .Cell(result.write_percentiles_ms.Quantile(0.95), 2)
-        .Cell(result.write_percentiles_ms.Quantile(0.99), 2);
+        .Cell(rq[0], 2)
+        .Cell(rq[1], 2)
+        .Cell(rq[2], 2)
+        .Cell(wq[0], 2)
+        .Cell(wq[1], 2)
+        .Cell(wq[2], 2);
   }
   table.Print(std::cout);
   std::printf("(response-time percentiles, ms)\n");

@@ -1,0 +1,96 @@
+// Simulation-kernel throughput over the pinned CI reference grid.
+//
+// Times RunSimulation alone — trace loading, result flattening, and sink IO
+// are excluded — so the records/sec and points/sec this bench reports track
+// the per-record cost of the simulator kernel and nothing else.  Every cell
+// of specs/ci_reference.spec runs `param` timing replicas; the spread across
+// them is the noise floor benchdiff uses when CI gates on a regression.
+//
+// All reported metrics exist in both directions: records_per_sec /
+// points_per_sec for humans (higher is better), ns_per_record /
+// sec_per_point for the gate (benchdiff treats lower as better).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "src/core/simulator.h"
+#include "src/device/device_catalog.h"
+#include "src/runner/bench_registry.h"
+#include "src/runner/experiment_spec.h"
+#include "src/runner/sweep_runner.h"
+#include "src/trace/trace_cache.h"
+#include "src/trace/trace_view.h"
+
+namespace mobisim {
+namespace {
+
+// Mirrors specs/ci_reference.spec (one replica per cell: the timing
+// replicas below are re-runs of the same seed, not derived seeds — the
+// kernel is deterministic, so seed spread would measure workload variance,
+// not timing noise).
+ExperimentSpec ReferenceGrid(double scale) {
+  ExperimentSpec spec;
+  spec.devices = {IntelCardDatasheet(), Sdp5Datasheet()};
+  spec.workloads = {"mac", "dos"};
+  spec.utilizations = {0.50, 0.90};
+  spec.seeds = {1};
+  spec.replicas = 1;
+  spec.scale = scale;
+  return spec;
+}
+
+void Run(BenchContext& ctx) {
+  const std::vector<ExperimentPoint> points = EnumerateGrid(ReferenceGrid(ctx.scale()));
+  const std::uint64_t reps = ctx.param() > 0 ? ctx.param() : 1;
+
+  std::printf("%-8s  %-15s  %4s  %7s  %12s  %11s\n", "workload", "device", "util",
+              "records", "records/sec", "ns/record");
+  for (const ExperimentPoint& point : points) {
+    const TraceView trace =
+        LoadOrGenerateTraceView(ctx.trace_cache(), point.workload, point.scale, point.seed);
+    const double n = static_cast<double>(trace.size());
+    double best_rps = 0.0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const SimResult result = RunSimulation(trace, point.config);
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+      const double sec = elapsed.count();
+
+      ExperimentPoint labeled = point;
+      labeled.replica = rep;
+      // Every exported row needs a distinct point index (benchdiff rejects
+      // duplicates); replicas of one cell pool in the same diff group via the
+      // config columns, not the index.
+      labeled.index = point.index * reps + rep;
+      ResultRow row = PointToRow(labeled);
+      row.AddNumber("records_per_sec", n / sec);
+      row.AddNumber("points_per_sec", 1.0 / sec);
+      row.AddNumber("ns_per_record", sec * 1e9 / n);
+      row.AddNumber("sec_per_point", sec);
+      // Sanity anchor: a kernel "speedup" that silently dropped work would
+      // show here as a record-count or erase-count change.
+      row.AddInt("record_count", result.record_count);
+      row.AddInt("segment_erases", result.counters.segment_erases);
+      ctx.Emit(row);
+      best_rps = std::max(best_rps, n / sec);
+    }
+    std::printf("%-8s  %-15s  %4.2f  %7.0f  %12.0f  %11.1f\n", point.workload.c_str(),
+                point.config.device.name.c_str(), point.config.flash_utilization, n,
+                best_rps, 1e9 / best_rps);
+  }
+}
+
+REGISTER_BENCH(throughput)({
+    .name = "throughput",
+    .description = "simulation-kernel records/sec over the CI reference grid",
+    .source = "performance",
+    .dims = "2 devices x 2 workloads x 2 utilizations, timed replicas",
+    .default_param = 5,
+    .smoke_param = 2,
+    .param_help = "timing replicas per grid cell",
+    .deterministic = false,
+    .run = Run,
+});
+
+}  // namespace
+}  // namespace mobisim

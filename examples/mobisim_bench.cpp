@@ -40,6 +40,7 @@
 #include "src/runner/cli_options.h"
 #include "src/runner/sweep_runner.h"
 #include "src/trace/trace_cache.h"
+#include "src/util/bytes.h"
 #include "src/util/parse.h"
 
 namespace {
@@ -289,21 +290,21 @@ int TraceCacheCommand(std::vector<std::string> args) {
       if (!entry.valid) {
         ++invalid;
       }
-      std::printf("%s  %10llu bytes  %s\n", entry.fingerprint.c_str(),
-                  static_cast<unsigned long long>(entry.bytes),
-                  entry.valid ? "ok" : "INVALID");
+      std::printf("%s  %10s  %s\n", entry.fingerprint.c_str(),
+                  HumanBytes(entry.bytes).c_str(), entry.valid ? "ok" : "INVALID");
     }
-    std::printf("trace-cache %s: %zu entries, %llu bytes, %zu invalid\n",
+    std::printf("trace-cache %s: %zu entries, %s, %zu invalid\n",
                 common.trace_cache_dir.c_str(), entries.size(),
-                static_cast<unsigned long long>(bytes), invalid);
+                HumanBytes(bytes).c_str(), invalid);
     return 0;
   }
 
+  // CI greps the literal `removed %zu entries` phrase; keep it stable.
   const TraceCacheGcResult gc = GcTraceCache(common.trace_cache_dir, max_bytes);
-  std::printf("trace-cache %s: removed %zu entries (%llu bytes), kept %zu (%llu bytes)\n",
+  std::printf("trace-cache %s: removed %zu entries (%s), kept %zu (%s)\n",
               common.trace_cache_dir.c_str(), gc.removed,
-              static_cast<unsigned long long>(gc.removed_bytes), gc.kept,
-              static_cast<unsigned long long>(gc.kept_bytes));
+              HumanBytes(gc.removed_bytes).c_str(), gc.kept,
+              HumanBytes(gc.kept_bytes).c_str());
   return 0;
 }
 

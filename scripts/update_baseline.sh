@@ -15,11 +15,12 @@ SPEC=specs/ci_reference.spec
 NAME=ci_reference
 BUILD=${1:-build}
 SWEEP=$BUILD/examples/mobisim_sweep
+BENCH=$BUILD/examples/mobisim_bench
 DIFF=$BUILD/examples/mobisim_benchdiff
 
-if [ ! -x "$SWEEP" ] || [ ! -x "$DIFF" ]; then
+if [ ! -x "$SWEEP" ] || [ ! -x "$BENCH" ] || [ ! -x "$DIFF" ]; then
   cmake -B "$BUILD" -S .
-  cmake --build "$BUILD" -j "$(nproc)" --target mobisim_sweep mobisim_benchdiff
+  cmake --build "$BUILD" -j "$(nproc)" --target mobisim_sweep mobisim_bench mobisim_benchdiff
 fi
 
 tmp=$(mktemp -d)
@@ -48,11 +49,21 @@ done
 stage=$(mktemp -d "$PWD/bench_db.stage.XXXXXX")
 trap 'rm -rf "$tmp" "$stage"' EXIT
 "$SWEEP" --spec "$SPEC" --db "$stage" --name "$NAME" --sha baseline --quiet
+
+# The throughput baseline is machine-speed data, not simulator output, so it
+# skips the determinism check; run it serial and warm-cached so the recorded
+# noise band reflects timing jitter alone, not thread contention or trace
+# generation.
+"$BENCH" run throughput --jobs 1 --trace-cache "$tmp/tc" \
+         --db "$stage" --name throughput --sha baseline --quiet > /dev/null
 "$DIFF" --verify-db "$stage" --quiet
 
-# Sanity: the fresh baseline must gate itself clean.
+# Sanity: each fresh baseline must gate itself clean.
 "$DIFF" --base "$stage/baseline/$NAME.jsonl" \
         --cand "$stage/baseline/$NAME.jsonl" --quiet
+"$DIFF" --base "$stage/baseline/throughput.jsonl" \
+        --cand "$stage/baseline/throughput.jsonl" \
+        --metrics ns_per_record,sec_per_point --quiet
 
 # Atomic swap: the old store is whole until the verified one replaces it.
 old=
@@ -65,4 +76,4 @@ if [ -n "$old" ]; then
   rm -rf "$old"
 fi
 
-echo "update_baseline: bench_db/baseline/$NAME.jsonl refreshed; commit bench_db/"
+echo "update_baseline: bench_db/baseline/{$NAME,throughput}.jsonl refreshed; commit bench_db/"

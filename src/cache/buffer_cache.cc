@@ -16,89 +16,35 @@ BufferCache::BufferCache(const MemorySpec& spec, std::uint64_t capacity_bytes,
   refresh_w_ = spec.idle_w_per_mbyte * static_cast<double>(capacity_bytes) / (1024.0 * 1024.0);
 }
 
-void BufferCache::TouchBlock(std::uint64_t lba) {
-  const auto it = index_.find(lba);
-  MOBISIM_DCHECK(it != index_.end());
-  lru_.splice(lru_.begin(), lru_, it->second);
-}
-
-bool BufferCache::ReadHit(std::uint64_t lba, std::uint32_t count) {
-  if (!enabled()) {
-    return false;
-  }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    if (index_.find(lba + i) == index_.end()) {
-      ++misses_;
-      return false;
-    }
-  }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    TouchBlock(lba + i);
-  }
-  ++hits_;
-  return true;
-}
-
-void BufferCache::Insert(std::uint64_t lba, std::uint32_t count,
-                         std::vector<std::uint64_t>* evicted_dirty) {
-  if (!enabled()) {
-    return;
-  }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint64_t block = lba + i;
-    const auto it = index_.find(block);
-    if (it != index_.end()) {
-      TouchBlock(block);
-      continue;
-    }
-    if (lru_.size() >= capacity_blocks_) {
-      const std::uint64_t victim = lru_.back();
-      lru_.pop_back();
-      index_.erase(victim);
-      if (dirty_.erase(victim) > 0 && evicted_dirty != nullptr) {
-        evicted_dirty->push_back(victim);
-      }
-    }
-    lru_.push_front(block);
-    index_[block] = lru_.begin();
-  }
-}
-
 void BufferCache::InvalidateRange(std::uint64_t lba, std::uint32_t count) {
   if (!enabled()) {
     return;
   }
   for (std::uint32_t i = 0; i < count; ++i) {
-    const auto it = index_.find(lba + i);
-    if (it == index_.end()) {
-      continue;
-    }
-    lru_.erase(it->second);
-    index_.erase(it);
-    dirty_.erase(lba + i);
+    bool was_dirty = false;
+    cache_.Erase(lba + i, &was_dirty);
   }
 }
 
-void BufferCache::Clear() {
-  lru_.clear();
-  index_.clear();
-  dirty_.clear();
-}
+void BufferCache::Clear() { cache_.Clear(); }
 
 void BufferCache::MarkDirty(std::uint64_t lba, std::uint32_t count) {
   if (!enabled()) {
     return;
   }
   for (std::uint32_t i = 0; i < count; ++i) {
-    MOBISIM_DCHECK(index_.find(lba + i) != index_.end());
-    dirty_.insert(lba + i);
+    const bool present = cache_.MarkDirty(lba + i);
+    MOBISIM_DCHECK(present);
+    (void)present;
   }
 }
 
 std::vector<BufferCache::DirtyRange> BufferCache::DrainDirty() {
-  std::vector<std::uint64_t> blocks(dirty_.begin(), dirty_.end());
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve(cache_.dirty_count());
+  cache_.CollectDirty(&blocks);
   std::sort(blocks.begin(), blocks.end());
-  dirty_.clear();
+  cache_.ClearDirtyBits();
   std::vector<DirtyRange> ranges;
   for (const std::uint64_t block : blocks) {
     if (!ranges.empty() && ranges.back().lba + ranges.back().count == block) {
@@ -108,24 +54,6 @@ std::vector<BufferCache::DirtyRange> BufferCache::DrainDirty() {
     }
   }
   return ranges;
-}
-
-SimTime BufferCache::AccessTime(std::uint64_t bytes) const {
-  return static_cast<SimTime>(spec_.access_overhead_us) +
-         TransferTimeUs(bytes, spec_.read_kbps);
-}
-
-void BufferCache::NoteTransfer(std::uint64_t bytes) {
-  meter_.Accumulate(kModeActive, AccessTime(bytes));
-}
-
-void BufferCache::AccountUntil(SimTime t) {
-  if (t <= accounted_until_ || !enabled()) {
-    accounted_until_ = std::max(accounted_until_, t);
-    return;
-  }
-  meter_.AccumulateJoules(kModeRefresh, refresh_w_ * SecFromUs(t - accounted_until_));
-  accounted_until_ = t;
 }
 
 }  // namespace mobisim

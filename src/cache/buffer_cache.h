@@ -11,13 +11,12 @@
 #ifndef MOBISIM_SRC_CACHE_BUFFER_CACHE_H_
 #define MOBISIM_SRC_CACHE_BUFFER_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/device/device_spec.h"
+#include "src/util/block_hash.h"
 #include "src/util/energy_meter.h"
 #include "src/util/sim_time.h"
 
@@ -29,19 +28,53 @@ class BufferCache {
 
   bool enabled() const { return capacity_blocks_ > 0; }
   std::uint64_t capacity_blocks() const { return capacity_blocks_; }
-  std::uint64_t cached_blocks() const { return lru_.size(); }
+  std::uint64_t cached_blocks() const { return cache_.size(); }
 
   // True if every block of [lba, lba+count) is cached; refreshes LRU
   // positions on a hit.  Misses leave the cache untouched (the caller
-  // fetches from below and then calls Insert).
-  bool ReadHit(std::uint64_t lba, std::uint32_t count);
+  // fetches from below and then calls Insert).  Inline: probed once per
+  // simulated read.
+  bool ReadHit(std::uint64_t lba, std::uint32_t count) {
+    if (!enabled()) {
+      return false;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (!cache_.Contains(lba + i)) {
+        ++misses_;
+        return false;
+      }
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      cache_.TouchIfPresent(lba + i);
+    }
+    ++hits_;
+    return true;
+  }
   // Inserts blocks (write-allocate), evicting least-recently-used blocks as
   // needed.  In write-through operation victims are always clean and
   // eviction is free; in write-back operation evicted dirty blocks are
   // appended to `evicted_dirty` (if non-null) and the caller must write them
   // to the device.
   void Insert(std::uint64_t lba, std::uint32_t count,
-              std::vector<std::uint64_t>* evicted_dirty = nullptr);
+              std::vector<std::uint64_t>* evicted_dirty = nullptr) {
+    if (!enabled()) {
+      return;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t block = lba + i;
+      if (cache_.TouchIfPresent(block)) {
+        continue;
+      }
+      if (cache_.size() >= capacity_blocks_) {
+        bool was_dirty = false;
+        const std::uint64_t victim = cache_.EvictLru(&was_dirty);
+        if (was_dirty && evicted_dirty != nullptr) {
+          evicted_dirty->push_back(victim);
+        }
+      }
+      cache_.InsertFront(block);
+    }
+  }
   void InvalidateRange(std::uint64_t lba, std::uint32_t count);
   // Drops every cached block (power loss: DRAM is volatile).  Dirty data is
   // gone too — the caller counts it as lost.  Hit/miss counters survive.
@@ -51,7 +84,7 @@ class BufferCache {
   // some erasures at the cost of occasional data loss") -------------------
   // Marks cached blocks dirty; they must already be present (Insert first).
   void MarkDirty(std::uint64_t lba, std::uint32_t count);
-  std::uint64_t dirty_blocks() const { return dirty_.size(); }
+  std::uint64_t dirty_blocks() const { return cache_.dirty_count(); }
   // A maximal run of consecutive dirty blocks.
   struct DirtyRange {
     std::uint64_t lba = 0;
@@ -62,11 +95,21 @@ class BufferCache {
   std::vector<DirtyRange> DrainDirty();
 
   // Time to move `bytes` through the DRAM, and the paired active energy.
-  SimTime AccessTime(std::uint64_t bytes) const;
+  SimTime AccessTime(std::uint64_t bytes) const {
+    return static_cast<SimTime>(spec_.access_overhead_us) +
+           TransferTimeUs(bytes, spec_.read_kbps);
+  }
   // Accounts active energy for a transfer of `bytes`.
-  void NoteTransfer(std::uint64_t bytes);
+  void NoteTransfer(std::uint64_t bytes) { meter_.Accumulate(kModeActive, AccessTime(bytes)); }
   // Accounts refresh energy up to `t`.
-  void AccountUntil(SimTime t);
+  void AccountUntil(SimTime t) {
+    if (t <= accounted_until_ || !enabled()) {
+      accounted_until_ = std::max(accounted_until_, t);
+      return;
+    }
+    meter_.AccumulateJoules(kModeRefresh, refresh_w_ * SecFromUs(t - accounted_until_));
+    accounted_until_ = t;
+  }
   void Finish(SimTime end) { AccountUntil(end); }
 
   const EnergyMeter& energy() const { return meter_; }
@@ -76,8 +119,6 @@ class BufferCache {
  private:
   enum Mode : std::size_t { kModeActive = 0, kModeRefresh };
 
-  void TouchBlock(std::uint64_t lba);
-
   MemorySpec spec_;
   std::uint64_t capacity_blocks_;
   std::uint32_t block_bytes_;
@@ -85,9 +126,10 @@ class BufferCache {
   SimTime accounted_until_ = 0;
   double refresh_w_ = 0.0;
 
-  std::list<std::uint64_t> lru_;  // front = most recent
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
-  std::unordered_set<std::uint64_t> dirty_;
+  // Index, recency order, and dirty bits in one flat structure (see
+  // block_hash.h); eviction order is exact LRU, identical to the previous
+  // list-based implementation.
+  LruBlockMap cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

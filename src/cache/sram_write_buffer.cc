@@ -16,37 +16,13 @@ SramWriteBuffer::SramWriteBuffer(const MemorySpec& spec, std::uint64_t capacity_
   retention_w_ = spec.idle_w_per_mbyte * static_cast<double>(capacity_bytes) / (1024.0 * 1024.0);
 }
 
-bool SramWriteBuffer::ContainsAll(std::uint64_t lba, std::uint32_t count) const {
-  if (!enabled() || count == 0) {
-    return false;
-  }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    if (dirty_.find(lba + i) == dirty_.end()) {
-      return false;
-    }
-  }
-  return true;
-}
-
-bool SramWriteBuffer::ContainsAny(std::uint64_t lba, std::uint32_t count) const {
-  if (!enabled()) {
-    return false;
-  }
-  for (std::uint32_t i = 0; i < count; ++i) {
-    if (dirty_.find(lba + i) != dirty_.end()) {
-      return true;
-    }
-  }
-  return false;
-}
-
 bool SramWriteBuffer::Absorb(std::uint64_t lba, std::uint32_t count) {
   if (!enabled()) {
     return false;
   }
   std::uint32_t new_blocks = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (dirty_.find(lba + i) == dirty_.end()) {
+    if (!dirty_.contains(lba + i)) {
       ++new_blocks;
     }
   }
@@ -67,7 +43,9 @@ void SramWriteBuffer::Discard(std::uint64_t lba, std::uint32_t count) {
 }
 
 std::vector<SramWriteBuffer::FlushRange> SramWriteBuffer::Drain() {
-  std::vector<std::uint64_t> blocks(dirty_.begin(), dirty_.end());
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve(dirty_.size());
+  dirty_.CollectInto(&blocks);
   std::sort(blocks.begin(), blocks.end());
   dirty_.clear();
   std::vector<FlushRange> ranges;
@@ -82,24 +60,6 @@ std::vector<SramWriteBuffer::FlushRange> SramWriteBuffer::Drain() {
     ++flushes_;
   }
   return ranges;
-}
-
-SimTime SramWriteBuffer::AccessTime(std::uint64_t bytes) const {
-  return static_cast<SimTime>(spec_.access_overhead_us) +
-         TransferTimeUs(bytes, spec_.write_kbps);
-}
-
-void SramWriteBuffer::NoteTransfer(std::uint64_t bytes) {
-  meter_.Accumulate(kModeActive, AccessTime(bytes));
-}
-
-void SramWriteBuffer::AccountUntil(SimTime t) {
-  if (t <= accounted_until_ || !enabled()) {
-    accounted_until_ = std::max(accounted_until_, t);
-    return;
-  }
-  meter_.AccumulateJoules(kModeRetention, retention_w_ * SecFromUs(t - accounted_until_));
-  accounted_until_ = t;
 }
 
 }  // namespace mobisim

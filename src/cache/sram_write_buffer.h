@@ -9,11 +9,12 @@
 #ifndef MOBISIM_SRC_CACHE_SRAM_WRITE_BUFFER_H_
 #define MOBISIM_SRC_CACHE_SRAM_WRITE_BUFFER_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "src/device/device_spec.h"
+#include "src/util/block_hash.h"
 #include "src/util/energy_meter.h"
 #include "src/util/sim_time.h"
 
@@ -29,11 +30,31 @@ class SramWriteBuffer {
   std::uint64_t dirty_blocks() const { return dirty_.size(); }
 
   // True if every block of the range is buffered (read can be serviced
-  // here).
-  bool ContainsAll(std::uint64_t lba, std::uint32_t count) const;
+  // here).  Inline: probed once per simulated operation.
+  bool ContainsAll(std::uint64_t lba, std::uint32_t count) const {
+    if (!enabled() || count == 0) {
+      return false;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (!dirty_.contains(lba + i)) {
+        return false;
+      }
+    }
+    return true;
+  }
   // True if any block of the range is buffered (read below would see stale
   // data; the caller must drain first).
-  bool ContainsAny(std::uint64_t lba, std::uint32_t count) const;
+  bool ContainsAny(std::uint64_t lba, std::uint32_t count) const {
+    if (!enabled()) {
+      return false;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (dirty_.contains(lba + i)) {
+        return true;
+      }
+    }
+    return false;
+  }
 
   // Absorbs a write if the whole range fits (blocks already present are
   // free).  Returns false -- leaving the buffer untouched -- when it does
@@ -52,9 +73,19 @@ class SramWriteBuffer {
   // by LBA.
   std::vector<FlushRange> Drain();
 
-  SimTime AccessTime(std::uint64_t bytes) const;
-  void NoteTransfer(std::uint64_t bytes);
-  void AccountUntil(SimTime t);
+  SimTime AccessTime(std::uint64_t bytes) const {
+    return static_cast<SimTime>(spec_.access_overhead_us) +
+           TransferTimeUs(bytes, spec_.write_kbps);
+  }
+  void NoteTransfer(std::uint64_t bytes) { meter_.Accumulate(kModeActive, AccessTime(bytes)); }
+  void AccountUntil(SimTime t) {
+    if (t <= accounted_until_ || !enabled()) {
+      accounted_until_ = std::max(accounted_until_, t);
+      return;
+    }
+    meter_.AccumulateJoules(kModeRetention, retention_w_ * SecFromUs(t - accounted_until_));
+    accounted_until_ = t;
+  }
   void Finish(SimTime end) { AccountUntil(end); }
 
   const EnergyMeter& energy() const { return meter_; }
@@ -71,7 +102,7 @@ class SramWriteBuffer {
   SimTime accounted_until_ = 0;
   double retention_w_ = 0.0;
 
-  std::unordered_set<std::uint64_t> dirty_;
+  FlatBlockSet dirty_;
   std::uint64_t absorbed_ = 0;
   std::uint64_t flushes_ = 0;
 };

@@ -292,10 +292,11 @@ void AddStats(ResultRow* row, const std::string& prefix, const RunningStats& sta
 
 void AddPercentiles(ResultRow* row, const std::string& prefix,
                     const ReservoirSample& sample) {
-  row->AddNumber(prefix + "_p50", sample.Quantile(0.50));
-  row->AddNumber(prefix + "_p90", sample.Quantile(0.90));
-  row->AddNumber(prefix + "_p95", sample.Quantile(0.95));
-  row->AddNumber(prefix + "_p99", sample.Quantile(0.99));
+  const std::vector<double> qs = sample.Quantiles({0.50, 0.90, 0.95, 0.99});
+  row->AddNumber(prefix + "_p50", qs[0]);
+  row->AddNumber(prefix + "_p90", qs[1]);
+  row->AddNumber(prefix + "_p95", qs[2]);
+  row->AddNumber(prefix + "_p99", qs[3]);
 }
 
 }  // namespace

@@ -21,34 +21,50 @@ SimConfig MakePaperConfig(const DeviceSpec& device, std::uint64_t dram_bytes,
   return config;
 }
 
-SimResult RunSimulation(const BlockTrace& trace, const SimConfig& config) {
-  MOBISIM_CHECK(!trace.records.empty());
+SimResult RunSimulation(const TraceView& trace, const SimConfig& config) {
+  MOBISIM_CHECK(trace.size() > 0);
   MOBISIM_CHECK(config.warm_fraction >= 0.0 && config.warm_fraction < 1.0);
 
-  StorageSystem system(config, trace.total_blocks, trace.block_bytes);
+  StorageSystem system(config, trace.total_blocks(), trace.block_bytes());
 
   SimResult result;
-  result.workload = trace.name;
+  result.workload = trace.name();
   result.device = config.device.name;
-  result.record_count = trace.records.size();
+  result.record_count = trace.size();
   result.warm_record_count = static_cast<std::uint64_t>(
-      config.warm_fraction * static_cast<double>(trace.records.size()));
+      config.warm_fraction * static_cast<double>(trace.size()));
 
   double warm_device_j = 0.0;
   double warm_dram_j = 0.0;
   double warm_sram_j = 0.0;
-  SimTime post_warm_start = trace.records.front().time_us;
+
+  // The per-record loop walks the view's columns directly: no struct
+  // assembly beyond the BlockRecord handed to StorageSystem, no indirection
+  // through a vector of rows.
+  const std::size_t n = trace.size();
+  const SimTime* times = trace.times();
+  const std::uint8_t* ops = trace.ops();
+  const std::uint64_t* lbas = trace.lbas();
+  const std::uint32_t* counts = trace.counts();
+  const std::uint32_t* file_ids = trace.file_ids();
+
+  SimTime post_warm_start = times[0];
 
   // Power-loss schedule: exponential inter-arrival times starting from the
   // trace's first timestamp.  Inert (no draws) unless configured.
   FaultPlan fault_plan(config.fault);
   SimTime next_power_loss = 0;
   if (fault_plan.power_loss_enabled()) {
-    next_power_loss = trace.records.front().time_us + fault_plan.NextInterval();
+    next_power_loss = times[0] + fault_plan.NextInterval();
   }
 
-  for (std::uint64_t i = 0; i < trace.records.size(); ++i) {
-    const BlockRecord& rec = trace.records[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    BlockRecord rec;
+    rec.time_us = times[i];
+    rec.op = static_cast<OpType>(ops[i]);
+    rec.lba = lbas[i];
+    rec.block_count = counts[i];
+    rec.file_id = file_ids[i];
     if (fault_plan.power_loss_enabled()) {
       while (rec.time_us >= next_power_loss) {
         system.PowerLoss(next_power_loss);
@@ -78,7 +94,7 @@ SimResult RunSimulation(const BlockTrace& trace, const SimConfig& config) {
     }
   }
 
-  const SimTime end = trace.records.back().time_us;
+  const SimTime end = times[n - 1];
   system.Finish(end);
 
   result.duration_sec = SecFromUs(std::max<SimTime>(0, end - post_warm_start));
@@ -124,6 +140,10 @@ SimResult RunSimulation(const BlockTrace& trace, const SimConfig& config) {
     }
   }
   return result;
+}
+
+SimResult RunSimulation(const BlockTrace& trace, const SimConfig& config) {
+  return RunSimulation(TraceView::FromBlockTrace(trace), config);
 }
 
 SimResult RunNamedWorkload(const std::string& workload, const SimConfig& config, double scale) {

@@ -155,21 +155,6 @@ SimTime StorageSystem::DrainSramTo(SimTime now) {
   return completion;
 }
 
-void StorageSystem::AccountTo(SimTime now) {
-  dram_.AccountUntil(now);
-  sram_.AccountUntil(now);
-  device_->AdvanceTo(now);
-  if (fault_on_) {
-    while (!pending_.empty() && pending_.front().completion_us <= now) {
-      pending_.pop_front();
-    }
-  }
-  if (config_.write_back_cache && now >= next_cache_sync_us_) {
-    SyncDirtyCache(now);
-    next_cache_sync_us_ = now + config_.cache_sync_interval_us;
-  }
-}
-
 SimTime StorageSystem::PowerLoss(SimTime now) {
   AccountTo(now);
   ++fault_stats_.power_losses;
@@ -280,11 +265,11 @@ SimTime StorageSystem::HandleRead(const BlockRecord& rec) {
     start = DrainSramTo(now);
   }
   const SimTime response = (start - now) + DeviceRead(start, rec);
-  std::vector<std::uint64_t> evicted_dirty;
-  dram_.Insert(rec.lba, rec.block_count, &evicted_dirty);
+  evicted_scratch_.clear();
+  dram_.Insert(rec.lba, rec.block_count, &evicted_scratch_);
   dram_.NoteTransfer(bytes);
-  if (!evicted_dirty.empty()) {
-    WriteBackEvicted(now + response, evicted_dirty);
+  if (!evicted_scratch_.empty()) {
+    WriteBackEvicted(now + response, evicted_scratch_);
   }
   return response;
 }
@@ -297,13 +282,13 @@ SimTime StorageSystem::HandleWrite(const BlockRecord& rec) {
       rec.block_count <= dram_.capacity_blocks()) {
     // Write-back: the write completes in DRAM; evicted dirty victims and the
     // periodic sync carry it to the device later.
-    std::vector<std::uint64_t> evicted_dirty;
-    dram_.Insert(rec.lba, rec.block_count, &evicted_dirty);
+    evicted_scratch_.clear();
+    dram_.Insert(rec.lba, rec.block_count, &evicted_scratch_);
     dram_.MarkDirty(rec.lba, rec.block_count);
     dram_.NoteTransfer(bytes);
     const SimTime response = dram_.AccessTime(bytes);
-    if (!evicted_dirty.empty()) {
-      WriteBackEvicted(now + response, evicted_dirty);
+    if (!evicted_scratch_.empty()) {
+      WriteBackEvicted(now + response, evicted_scratch_);
     }
     return response;
   }

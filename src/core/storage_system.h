@@ -41,7 +41,21 @@ class StorageSystem {
   SimTime Handle(const BlockRecord& rec);
 
   // Brings all components' background accounting up to `now` without I/O.
-  void AccountTo(SimTime now);
+  // Inline: runs once per simulated record before the operation proper.
+  void AccountTo(SimTime now) {
+    dram_.AccountUntil(now);
+    sram_.AccountUntil(now);
+    device_->AdvanceTo(now);
+    if (fault_on_) {
+      while (!pending_.empty() && pending_.front().completion_us <= now) {
+        pending_.pop_front();
+      }
+    }
+    if (config_.write_back_cache && now >= next_cache_sync_us_) {
+      SyncDirtyCache(now);
+      next_cache_sync_us_ = now + config_.cache_sync_interval_us;
+    }
+  }
 
   // Cuts power at `now` and reboots.  Battery-backed SRAM keeps its
   // contents (in-flight SRAM flushes are pulled back into the buffer);
@@ -116,6 +130,10 @@ class StorageSystem {
   // Completion times are monotone in issue order (one serializing device),
   // so durable entries are pruned from the front.
   std::deque<PendingWrite> pending_;
+
+  // Per-call scratch for dirty-eviction victims, kept as a member so the hot
+  // read/write paths do not allocate; cleared before each use.
+  std::vector<std::uint64_t> evicted_scratch_;
 };
 
 // Capacity (bytes) a device needs so `trace_bytes` of live data fits at

@@ -80,6 +80,10 @@ void SegmentManager::OpenNewActiveSegment(std::uint32_t& slot) {
       slot = i;
       MOBISIM_CHECK(erased_segments_ > 0);
       --erased_segments_;
+      // The segment will fill completely before it closes; one allocation
+      // up front instead of push_back growth (CleanSegment moves the vector
+      // away, so capacity does not survive an erase cycle).
+      segments_[i].residents.reserve(blocks_per_segment_);
       return;
     }
   }
@@ -88,6 +92,7 @@ void SegmentManager::OpenNewActiveSegment(std::uint32_t& slot) {
 
 void SegmentManager::AppendBlock(std::uint64_t lba, bool cleaning) {
   MOBISIM_CHECK(free_slots_ > 0);
+  ++mutation_epoch_;
   std::uint32_t& role = (cleaning && config_.separate_cleaning_segment) ? cleaning_segment_
                                                                         : active_segment_;
   if (role == kNoSegment || segments_[role].slots_used == blocks_per_segment_) {
@@ -114,6 +119,7 @@ void SegmentManager::InvalidateBlock(std::uint64_t lba) {
   if (seg_idx == kNoSegment) {
     return;
   }
+  ++mutation_epoch_;
   Segment& seg = segments_[seg_idx];
   MOBISIM_DCHECK(seg.live > 0);
   --seg.live;
@@ -151,6 +157,9 @@ std::uint32_t SegmentManager::BlockSegment(std::uint64_t lba) const {
 }
 
 std::uint32_t SegmentManager::PickVictim(CleaningPolicy policy) const {
+  if (victim_epoch_ == mutation_epoch_ && victim_policy_ == policy) {
+    return victim_cache_;
+  }
   std::uint32_t max_erases = 0;
   if (policy == CleaningPolicy::kWearAware) {
     for (const Segment& seg : segments_) {
@@ -194,6 +203,9 @@ std::uint32_t SegmentManager::PickVictim(CleaningPolicy policy) const {
       best = i;
     }
   }
+  victim_epoch_ = mutation_epoch_;
+  victim_policy_ = policy;
+  victim_cache_ = best;
   return best;
 }
 
@@ -230,6 +242,7 @@ std::uint32_t SegmentManager::CleanSegment(std::uint32_t segment) {
   victim.sequence = 0;
   ++victim.erase_count;
   ++total_erases_;
+  ++mutation_epoch_;
   const std::uint32_t limit =
       victim.endurance_limit > 0 ? victim.endurance_limit : config_.endurance_limit;
   if (limit > 0 && victim.erase_count >= limit) {
@@ -245,6 +258,7 @@ std::uint32_t SegmentManager::CleanSegment(std::uint32_t segment) {
 
 void SegmentManager::SetEnduranceBudget(std::uint32_t segment, std::uint32_t limit) {
   MOBISIM_CHECK(segment < segments_.size());
+  ++mutation_epoch_;
   segments_[segment].endurance_limit = limit;
 }
 
@@ -255,6 +269,7 @@ void SegmentManager::RetireSegment(std::uint32_t segment) {
   MOBISIM_CHECK(segment != active_segment_ && segment != cleaning_segment_);
   MOBISIM_CHECK(erased_segments_ > 0);
   MOBISIM_CHECK(free_slots_ >= blocks_per_segment_);
+  ++mutation_epoch_;
   seg.bad = true;
   --erased_segments_;
   free_slots_ -= blocks_per_segment_;

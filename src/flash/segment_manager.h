@@ -165,6 +165,16 @@ class SegmentManager {
   std::uint32_t bad_segments_ = 0;
   std::uint64_t total_erases_ = 0;
   std::uint64_t fill_sequence_ = 0;
+
+  // PickVictim is a full scan over segments, and the device model re-asks it
+  // after nearly every record while the erased reserve is low.  Every input
+  // to the scoring (live counts, fill order, erase counts, the active
+  // segment) changes only through the mutating methods, which bump
+  // mutation_epoch_; the last answer is cached and reused until then.
+  std::uint64_t mutation_epoch_ = 0;
+  mutable std::uint64_t victim_epoch_ = ~std::uint64_t{0};
+  mutable CleaningPolicy victim_policy_ = CleaningPolicy::kGreedy;
+  mutable std::uint32_t victim_cache_ = kNoSegment;
 };
 
 }  // namespace mobisim

@@ -91,6 +91,9 @@ class BenchContext {
   std::uint64_t param() const { return param_; }
   bool smoke() const { return options_.smoke; }
   std::size_t threads() const { return options_.threads; }
+  // Persistent trace cache (null when the caller runs uncached).  For
+  // benches that drive RunSimulation directly instead of through RunGrid.
+  TraceCache* trace_cache() const { return options_.trace_cache; }
 
   // Enumerates and runs the spec's grid through RunSweep; rows stream to
   // the shared sinks tagged with the bench name, with point indices made

@@ -44,15 +44,16 @@ struct TraceKey {
 // A cached trace, or the reason it could not be generated.  A generation
 // failure fails only the points that need this trace, never the whole sweep.
 struct CachedTrace {
-  std::shared_ptr<const BlockTrace> trace;
+  TraceView trace;
   std::string error;
 };
 
 // Generates each distinct trace once, in parallel; afterwards the map is
 // read-only and safe to share across workers.  With a persistent cache,
-// each trace is loaded from disk instead of generated when a valid entry
-// exists, and stored after generation otherwise (LoadOrGenerateBlockTrace
-// is thread-safe, so the parallel fan-out needs no extra locking).
+// each trace is an mmap-backed zero-copy view of the disk entry when a
+// valid one exists, and is generated + stored otherwise
+// (LoadOrGenerateTraceView is thread-safe, so the parallel fan-out needs no
+// extra locking).
 std::map<TraceKey, CachedTrace> BuildTraceMap(const std::vector<ExperimentPoint>& points,
                                               ThreadPool* pool,
                                               TraceCache* persistent) {
@@ -69,7 +70,7 @@ std::map<TraceKey, CachedTrace> BuildTraceMap(const std::vector<ExperimentPoint>
     const TraceKey& key = entries[i]->first;
     try {
       entries[i]->second.trace =
-          LoadOrGenerateBlockTrace(persistent, key.workload, key.scale, key.seed);
+          LoadOrGenerateTraceView(persistent, key.workload, key.scale, key.seed);
     } catch (const std::exception& e) {
       entries[i]->second.error = e.what();
     }
@@ -157,12 +158,12 @@ std::vector<SweepOutcome> RunSweep(const std::vector<ExperimentPoint>& points,
     outcome.point = point;
     // A failing point (trace generation or simulation) becomes an `_error`
     // row instead of taking the whole sweep down with it.
-    if (cached.trace == nullptr) {
+    if (cached.trace.empty()) {
       outcome.failed = true;
       outcome.error = cached.error;
     } else {
       try {
-        outcome.result = RunSimulation(*cached.trace, point.config);
+        outcome.result = RunSimulation(cached.trace, point.config);
         outcome.row = MergePointAndResult(point, outcome.result);
       } catch (const std::exception& e) {
         outcome.failed = true;

@@ -17,6 +17,7 @@
 #include "src/sweepd/merge.h"
 #include "src/sweepd/spool.h"
 #include "src/util/atomic_file.h"
+#include "src/util/bytes.h"
 #include "src/util/heartbeat.h"
 #include "src/util/http_server.h"
 
@@ -72,6 +73,26 @@ pid_t SpawnWorker(const std::string& binary, const DispatcherOptions& options,
   return pid;
 }
 
+// On-disk footprint of the spool directory, best-effort: files appear and
+// vanish while workers run, so any stat error just skips that file.
+std::uint64_t SpoolDiskBytes(const std::string& root) {
+  std::uint64_t bytes = 0;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(root, ec);
+  const std::filesystem::recursive_directory_iterator end;
+  while (!ec && it != end) {
+    if (it->is_regular_file(ec) && !ec) {
+      const std::uintmax_t size = it->file_size(ec);
+      if (!ec) {
+        bytes += size;
+      }
+    }
+    ec.clear();
+    it.increment(ec);
+  }
+  return bytes;
+}
+
 }  // namespace
 
 ResultRow SpoolStatusRow(const Spool& spool, const SpoolMeta& meta,
@@ -96,6 +117,11 @@ ResultRow SpoolStatusRow(const Spool& spool, const SpoolMeta& meta,
   row.AddNumber("elapsed_sec", elapsed_sec);
   row.AddNumber("points_per_sec", rate);
   row.AddNumber("eta_sec", rate > 0.0 ? remaining / rate : 0.0);
+  // Disk footprint both ways: the raw count for tooling, the human form for
+  // anyone watching `sweepd status` or the /status endpoint directly.
+  const std::uint64_t spool_bytes = SpoolDiskBytes(spool.root());
+  row.AddInt("spool_bytes", spool_bytes);
+  row.AddText("spool_size", HumanBytes(spool_bytes));
   return row;
 }
 

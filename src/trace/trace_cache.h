@@ -18,6 +18,14 @@
 // bit-identical to generation — BlockTrace holds only integral fields, and
 // the serialization is exact — so results are byte-identical with the cache
 // on, off, cold, or warm.
+//
+// The v2 entry layout is column-oriented (one array per BlockRecord field,
+// each 8-byte aligned; see DESIGN.md for the byte-level map), which is what
+// makes LoadView possible: a valid entry is mmap'd and its columns handed to
+// the simulator in place — zero copies, zero per-record parsing — as a
+// TraceView.  Entries that cannot be mapped or whose columns fail alignment
+// checks fall back to the copying loader; corrupt entries are dropped and
+// regenerated exactly as before.
 #ifndef MOBISIM_SRC_TRACE_TRACE_CACHE_H_
 #define MOBISIM_SRC_TRACE_TRACE_CACHE_H_
 
@@ -29,13 +37,15 @@
 #include <vector>
 
 #include "src/trace/trace_record.h"
+#include "src/trace/trace_view.h"
 
 namespace mobisim {
 
 // Bump whenever the workload generators, BlockMapper, or the on-disk entry
 // layout change in any way that affects the produced BlockTrace: the
 // version participates in the fingerprint, so old entries simply miss.
-constexpr std::uint32_t kTraceCacheFormatVersion = 1;
+// v2: column-oriented (SoA) layout with aligned columns for zero-copy mmap.
+constexpr std::uint32_t kTraceCacheFormatVersion = 2;
 
 // Canonical key text for a named workload at (scale, seed): the format
 // version plus every parameter of the generator configuration the workload
@@ -63,6 +73,8 @@ struct TraceCacheStats {
   std::uint64_t stores = 0;    // entries written
   std::uint64_t corrupt = 0;   // invalid entries detected (and removed)
   std::uint64_t errors = 0;    // store failures (cache stayed best-effort)
+  std::uint64_t views = 0;     // zero-copy mmap loads (no payload copy)
+  std::uint64_t copies = 0;    // copying loads (Load, or LoadView fallback)
 };
 
 // The persistent cache directory.  Thread-safe: Load/Store may be called
@@ -79,8 +91,17 @@ class TraceCache {
 
   // Returns the cached trace, or nullptr on a miss.  A corrupted or torn
   // entry counts as a miss (and `corrupt`), and the bad file is removed so
-  // the regenerated trace can be re-stored.
+  // the regenerated trace can be re-stored.  Always copies (counts `copies`);
+  // the hot path is LoadView.
   std::shared_ptr<const BlockTrace> Load(const std::string& fingerprint);
+
+  // Zero-copy load: maps the entry, validates header/footer in place, and
+  // returns a TraceView whose columns point into the mapping (counts
+  // `views`).  Falls back to the copying loader — identical data, counts
+  // `copies` — when the file cannot be mapped or a column ends up
+  // misaligned.  A corrupted or torn entry is removed and reported as a
+  // (corrupt) miss, exactly like Load; the returned view is then empty.
+  TraceView LoadView(const std::string& fingerprint);
 
   // Stores the trace under the fingerprint, creating the cache directory if
   // needed.  Best-effort: returns false (and counts `errors`) on failure.
@@ -89,7 +110,9 @@ class TraceCache {
 
   TraceCacheStats stats() const;
   // One-line summary for the drivers' stderr reporting, e.g.
-  //   trace-cache: hits=12 misses=0 stores=0 corrupt=0 errors=0 dir=/x
+  //   trace-cache: hits=12 misses=0 stores=0 corrupt=0 errors=0 views=12 copies=0 dir=/x
+  // CI greps this line: `misses=0 stores=0 corrupt=0 errors=0` proves a warm
+  // run generated nothing, `copies=0` that no cached payload was copied.
   std::string StatsLine() const;
 
  private:
@@ -99,6 +122,8 @@ class TraceCache {
   std::atomic<std::uint64_t> stores_{0};
   std::atomic<std::uint64_t> corrupt_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> views_{0};
+  std::atomic<std::uint64_t> copies_{0};
 };
 
 // The one code path every consumer shares: load the (workload, scale, seed)
@@ -109,6 +134,14 @@ std::shared_ptr<const BlockTrace> LoadOrGenerateBlockTrace(TraceCache* cache,
                                                            const std::string& workload,
                                                            double scale,
                                                            std::uint64_t seed);
+
+// The view-returning twin, and what the sweep engine actually uses: a warm
+// cache yields an mmap-backed zero-copy view, a cold one generates, stores,
+// and wraps the generated trace in an owned-column view.  Same determinism
+// contract as LoadOrGenerateBlockTrace: the view's data is bit-identical
+// however it was produced.
+TraceView LoadOrGenerateTraceView(TraceCache* cache, const std::string& workload,
+                                  double scale, std::uint64_t seed);
 
 // Maintenance view of a cache directory (the `trace-cache stats` / `gc`
 // subcommands of mobisim_bench).

@@ -1,0 +1,49 @@
+#include "src/trace/trace_view.h"
+
+namespace mobisim {
+
+TraceView TraceView::FromBlockTrace(const BlockTrace& trace) {
+  auto storage = std::make_shared<TraceViewStorage>();
+  storage->name = trace.name;
+  storage->block_bytes = trace.block_bytes;
+  storage->total_blocks = trace.total_blocks;
+  storage->record_count = trace.records.size();
+  storage->zero_copy = false;
+
+  const std::size_t n = trace.records.size();
+  storage->own_times.reserve(n);
+  storage->own_lbas.reserve(n);
+  storage->own_counts.reserve(n);
+  storage->own_file_ids.reserve(n);
+  storage->own_ops.reserve(n);
+  for (const BlockRecord& rec : trace.records) {
+    storage->own_times.push_back(rec.time_us);
+    storage->own_lbas.push_back(rec.lba);
+    storage->own_counts.push_back(rec.block_count);
+    storage->own_file_ids.push_back(rec.file_id);
+    storage->own_ops.push_back(static_cast<std::uint8_t>(rec.op));
+  }
+  storage->times = storage->own_times.data();
+  storage->lbas = storage->own_lbas.data();
+  storage->counts = storage->own_counts.data();
+  storage->file_ids = storage->own_file_ids.data();
+  storage->ops = storage->own_ops.data();
+  return TraceView(std::move(storage));
+}
+
+BlockTrace TraceView::ToBlockTrace() const {
+  BlockTrace trace;
+  if (storage_ == nullptr) {
+    return trace;
+  }
+  trace.name = storage_->name;
+  trace.block_bytes = storage_->block_bytes;
+  trace.total_blocks = storage_->total_blocks;
+  trace.records.reserve(storage_->record_count);
+  for (std::size_t i = 0; i < storage_->record_count; ++i) {
+    trace.records.push_back(record(i));
+  }
+  return trace;
+}
+
+}  // namespace mobisim

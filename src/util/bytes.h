@@ -1,0 +1,38 @@
+// Human-readable byte counts.
+//
+// One shared formatter for every place that reports storage sizes to a
+// person (trace-cache stats/gc, the sweepd /status endpoint): raw byte
+// counts stay in the machine-readable columns, HumanBytes renders the
+// display form.
+#ifndef MOBISIM_SRC_UTIL_BYTES_H_
+#define MOBISIM_SRC_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace mobisim {
+
+// "0 B", "512 B", "1.5 KiB", "23.4 MiB", "1.2 GiB".  Binary units (1 KiB =
+// 1024 B) to match how capacities are specified everywhere else (ParseSize's
+// k/m/g suffixes).  One decimal for scaled units, exact count for bytes.
+inline std::string HumanBytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"KiB", "MiB", "GiB", "TiB", "PiB"};
+  if (bytes < 1024) {
+    return std::to_string(bytes) + " B";
+  }
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  value /= 1024.0;
+  while (value >= 1024.0 && unit + 1 < sizeof(kUnits) / sizeof(kUnits[0])) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  return buf;
+}
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_UTIL_BYTES_H_

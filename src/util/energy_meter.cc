@@ -11,18 +11,6 @@ EnergyMeter::EnergyMeter(std::vector<Mode> modes)
   MOBISIM_CHECK(!modes_.empty());
 }
 
-void EnergyMeter::Accumulate(std::size_t mode, SimTime duration_us) {
-  MOBISIM_DCHECK(mode < modes_.size());
-  MOBISIM_DCHECK(duration_us >= 0);
-  time_us_[mode] += duration_us;
-  joules_[mode] += modes_[mode].power_w * SecFromUs(duration_us);
-}
-
-void EnergyMeter::AccumulateJoules(std::size_t mode, double joules) {
-  MOBISIM_DCHECK(mode < modes_.size());
-  joules_[mode] += joules;
-}
-
 double EnergyMeter::total_joules() const {
   double total = 0.0;
   for (const double j : joules_) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/sim_time.h"
 
 namespace mobisim {
@@ -23,10 +24,20 @@ class EnergyMeter {
 
   explicit EnergyMeter(std::vector<Mode> modes);
 
-  // Accounts `duration_us` spent in `mode` (index into the constructor list).
-  void Accumulate(std::size_t mode, SimTime duration_us);
+  // Accounts `duration_us` spent in `mode` (index into the constructor
+  // list).  Inline: the device models call this on every state transition,
+  // several times per simulated operation.
+  void Accumulate(std::size_t mode, SimTime duration_us) {
+    MOBISIM_DCHECK(mode < modes_.size());
+    MOBISIM_DCHECK(duration_us >= 0);
+    time_us_[mode] += duration_us;
+    joules_[mode] += modes_[mode].power_w * SecFromUs(duration_us);
+  }
   // Accounts a fixed energy cost (e.g. per-byte DRAM access energy).
-  void AccumulateJoules(std::size_t mode, double joules);
+  void AccumulateJoules(std::size_t mode, double joules) {
+    MOBISIM_DCHECK(mode < modes_.size());
+    joules_[mode] += joules;
+  }
 
   double total_joules() const;
   double mode_joules(std::size_t mode) const;

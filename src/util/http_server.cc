@@ -123,7 +123,7 @@ bool HttpServer::Start(std::uint16_t port, Handler handler, std::string* error) 
   }
   port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
-  thread_ = std::thread([this] { AcceptLoop(); });
+  thread_ = std::thread([this, fd] { AcceptLoop(fd); });
   return true;
 }
 
@@ -141,8 +141,7 @@ void HttpServer::Stop() {
   port_ = 0;
 }
 
-void HttpServer::AcceptLoop() {
-  const int listen_fd = listen_fd_;
+void HttpServer::AcceptLoop(int listen_fd) {
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {

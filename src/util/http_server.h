@@ -53,7 +53,9 @@ class HttpServer {
   void Stop();
 
  private:
-  void AcceptLoop();
+  // Takes the fd by value: the accept thread must never read listen_fd_,
+  // which the owning thread overwrites in Stop() without synchronization.
+  void AcceptLoop(int listen_fd);
 
   Handler handler_;
   int listen_fd_ = -1;

@@ -7,16 +7,6 @@
 
 namespace mobisim {
 
-void RunningStats::Add(double value) {
-  ++count_;
-  sum_ += value;
-  const double delta = value - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (value - mean_);
-  min_ = std::min(min_, value);
-  max_ = std::max(max_, value);
-}
-
 void RunningStats::Merge(const RunningStats& other) {
   if (other.count_ == 0) {
     return;
@@ -54,23 +44,18 @@ ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
   values_.reserve(std::min<std::size_t>(capacity, 4096));
 }
 
-void ReservoirSample::Add(double value) {
-  ++seen_;
-  if (values_.size() < capacity_) {
-    values_.push_back(value);
-    return;
-  }
-  // Vitter's algorithm R with a splitmix-style generator.
-  rng_state_ += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = rng_state_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  const std::uint64_t slot = z % seen_;
-  if (slot < values_.size()) {
-    values_[slot] = value;
-  }
+namespace {
+
+// Shared by Quantile/Quantiles so the two agree bit-for-bit.
+double SortedQuantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
+
+}  // namespace
 
 double ReservoirSample::Quantile(double q) const {
   MOBISIM_CHECK(q >= 0.0 && q <= 1.0);
@@ -79,11 +64,49 @@ double ReservoirSample::Quantile(double q) const {
   }
   std::vector<double> sorted = values_;
   std::sort(sorted.begin(), sorted.end());
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  return SortedQuantile(sorted, q);
+}
+
+std::vector<double> ReservoirSample::Quantiles(const std::vector<double>& qs) const {
+  std::vector<double> out;
+  if (values_.empty()) {
+    out.assign(qs.size(), 0.0);
+    return out;
+  }
+  const std::size_t n = values_.size();
+  // Every rank the interpolation below will read.
+  std::vector<std::size_t> ranks;
+  ranks.reserve(qs.size() * 2);
+  for (const double q : qs) {
+    MOBISIM_CHECK(q >= 0.0 && q <= 1.0);
+    const auto lo = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+    ranks.push_back(lo);
+    ranks.push_back(std::min(lo + 1, n - 1));
+  }
+  std::sort(ranks.begin(), ranks.end());
+  ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+  // Selection instead of a full sort: ascending nth_element passes, each
+  // restricted to the suffix the previous pass proved holds all later
+  // ranks.  v[r] ends up the exact r-th order statistic — the same value a
+  // sort would put there — so the result matches Quantile bit-for-bit.
+  std::vector<double> v = values_;
+  std::size_t begin = 0;
+  for (const std::size_t r : ranks) {
+    std::nth_element(v.begin() + static_cast<std::ptrdiff_t>(begin),
+                     v.begin() + static_cast<std::ptrdiff_t>(r), v.end());
+    // Exclude the settled position from later passes so they cannot disturb
+    // it.
+    begin = r + 1;
+  }
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    const double pos = q * static_cast<double>(n - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out.push_back(v[lo] * (1.0 - frac) + v[hi] * frac);
+  }
+  return out;
 }
 
 Histogram::Histogram(double lo, double bucket_width, std::size_t bucket_count)

@@ -3,6 +3,7 @@
 #ifndef MOBISIM_SRC_UTIL_STATS_H_
 #define MOBISIM_SRC_UTIL_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -11,12 +12,21 @@
 namespace mobisim {
 
 // Welford-style accumulator: O(1) per sample, numerically stable mean and
-// standard deviation, plus min/max/sum.
+// standard deviation, plus min/max/sum.  Add is inline — it runs once per
+// simulated operation, several times over.
 class RunningStats {
  public:
   RunningStats() = default;
 
-  void Add(double value);
+  void Add(double value) {
+    ++count_;
+    sum_ += value;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
   // Merges another accumulator into this one (parallel composition).
   void Merge(const RunningStats& other);
   void Reset();
@@ -48,11 +58,32 @@ class ReservoirSample {
  public:
   explicit ReservoirSample(std::size_t capacity = 65536, std::uint64_t seed = 0x5eed);
 
-  void Add(double value);
+  void Add(double value) {
+    ++seen_;
+    if (values_.size() < capacity_) {
+      values_.push_back(value);
+      return;
+    }
+    // Vitter's algorithm R with a splitmix-style generator.
+    rng_state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = rng_state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const std::uint64_t slot = z % seen_;
+    if (slot < values_.size()) {
+      values_[slot] = value;
+    }
+  }
   std::uint64_t count() const { return seen_; }
   std::size_t sample_size() const { return values_.size(); }
   // Quantile estimate, q in [0, 1]; 0 with no data.
   double Quantile(double q) const;
+  // All of `qs` from ONE copy + sort of the reservoir.  Each element equals
+  // Quantile(qs[i]) exactly; callers needing several percentiles (the
+  // p50/p95/p99 result columns) use this instead of paying the sort per
+  // quantile.
+  std::vector<double> Quantiles(const std::vector<double>& qs) const;
 
  private:
   std::size_t capacity_;
