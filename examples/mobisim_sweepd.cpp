@@ -4,10 +4,14 @@
 //   mobisim_sweepd serve  --spool DIR [--spec FILE] [key=value ...]
 //                         [--shards N] [--workers N] [--retry-budget N]
 //                         [--lease-sec S] [--poll-sec S] [--http PORT]
+//                         [--http-bind-any]
 //                         [common flags: --jobs --seed --replicas --jsonl
 //                          --csv --db/--name/--sha --trace-cache --quiet]
 //   mobisim_sweepd work   --spool DIR [--jobs N] [--trace-cache DIR] [--quiet]
-//   mobisim_sweepd status --spool DIR
+//   mobisim_sweepd work   --connect HOST:PORT [--jobs N] [--chunk-rows N]
+//                         [--heartbeat-sec S] [--poll-sec S] [--retries N]
+//                         [--net-fault SPEC] [--worker-name NAME]
+//   mobisim_sweepd status --spool DIR | --connect HOST:PORT
 //   mobisim_sweepd merge  DIR [--jsonl F] [--csv F] [--db DIR --name N] [--quiet]
 //
 // `serve` creates the spool from the spec (or resumes an existing one: the
@@ -22,13 +26,22 @@
 //
 // `work` is the subordinate mode `serve` spawns; it also works standalone
 // (point any number of shells at the same spool for extra throughput).
+// With `--connect` it needs no shared filesystem at all: it speaks the
+// dispatcher's HTTP lease protocol (POST /lease, /heartbeat, /results,
+// /done) with connect/read deadlines, bounded exponential backoff with
+// jitter, and idempotent chunked uploads, so machines anywhere the
+// dispatcher's port is reachable can serve the sweep.  `--net-fault
+// seed=7,drop=0.2,dup=0.2,delay=0.5,delay-ms=40` injects deterministic
+// request drops/duplicates/delays for partition testing.  The dispatcher
+// binds loopback unless `serve --http-bind-any` opts into the network.
 //
 // `merge` accepts a spool root, a spool's done/ directory, or a flat
 // directory of `mobisim_sweep --shard` JSONL files — same code path, same
 // dedup-by-fingerprint semantics (shared with `mobisim_sweep --merge`).
 //
 // Exit codes: serve 0 = clean complete, 2 = finished with failed shards or
-// surviving `_error` points; work 0 = clean, 3 = finished but poisoned.
+// surviving `_error` points; work 0 = clean, 3 = finished but poisoned,
+// 4 = (--connect only) dispatcher unreachable past the retry budget.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -47,6 +60,7 @@
 #include "src/sweepd/spool.h"
 #include "src/sweepd/worker.h"
 #include "src/util/atomic_file.h"
+#include "src/util/http_client.h"
 #include "src/util/http_server.h"
 #include "src/util/parse.h"
 
@@ -60,12 +74,36 @@ int Usage() {
       "usage: mobisim_sweepd serve  --spool DIR [--spec FILE] [key=value ...]\n"
       "                             [--shards N] [--workers N] [--retry-budget N]\n"
       "                             [--lease-sec S] [--poll-sec S] [--http PORT]\n"
-      "       mobisim_sweepd work   --spool DIR\n"
-      "       mobisim_sweepd status --spool DIR\n"
+      "                             [--http-bind-any]\n"
+      "       mobisim_sweepd work   --spool DIR | --connect HOST:PORT\n"
+      "                             [--chunk-rows N] [--heartbeat-sec S]\n"
+      "                             [--poll-sec S] [--retries N]\n"
+      "                             [--net-fault seed=S,drop=R,dup=R,delay=R,delay-ms=M]\n"
+      "       mobisim_sweepd status --spool DIR | --connect HOST:PORT\n"
       "       mobisim_sweepd merge  DIR\n"
       "%s",
       CommonFlagsUsage());
   return 2;
+}
+
+// "host:port" -> (host, port).  False (with a message) on anything else.
+bool ParseHostPort(const std::string& text, std::string* host,
+                   std::uint16_t* port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    std::fprintf(stderr, "error: --connect wants HOST:PORT, got '%s'\n",
+                 text.c_str());
+    return false;
+  }
+  const auto parsed = ParseUint64(text.substr(colon + 1));
+  if (!parsed || *parsed == 0 || *parsed > 65535) {
+    std::fprintf(stderr, "error: --connect port in '%s' is not in 1..65535\n",
+                 text.c_str());
+    return false;
+  }
+  *host = text.substr(0, colon);
+  *port = static_cast<std::uint16_t>(*parsed);
+  return true;
 }
 
 // --- serve ---------------------------------------------------------------
@@ -78,6 +116,7 @@ int RunServe(std::vector<std::string> args, const CliOptions& common) {
   options.jobs_per_worker = common.jobs == 0 ? 1 : common.jobs;
   options.trace_cache_dir = common.trace_cache_dir;
   std::size_t shards = 0;  // 0 = pick from worker count
+  bool workers_set = false;  // --workers 0 means "remote/external only"
   std::string error;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -129,6 +168,7 @@ int RunServe(std::vector<std::string> args, const CliOptions& common) {
       const auto v = count("--workers");
       if (!v) return Usage();
       options.workers = *v;
+      workers_set = true;
     } else if (args[i] == "--retry-budget") {
       const auto v = count("--retry-budget");
       if (!v) return Usage();
@@ -145,6 +185,8 @@ int RunServe(std::vector<std::string> args, const CliOptions& common) {
       const auto v = count("--http");
       if (!v || *v > 65535) return Usage();
       options.http_port = static_cast<int>(*v);
+    } else if (args[i] == "--http-bind-any") {
+      options.http_bind_any = true;
     } else if (args[i] == "--throttle-ms") {
       const auto v = count("--throttle-ms");
       if (!v) return Usage();
@@ -164,11 +206,17 @@ int RunServe(std::vector<std::string> args, const CliOptions& common) {
     std::fprintf(stderr, "error: serve requires --spool DIR\n");
     return Usage();
   }
-  if (options.workers == 0) {
+  if (options.http_bind_any && options.http_port < 0) {
+    std::fprintf(stderr, "error: --http-bind-any requires --http PORT\n");
+    return Usage();
+  }
+  if (options.workers == 0 && !workers_set) {
     options.workers = 2;
   }
   if (shards == 0) {
-    shards = options.workers * 2;  // oversplit so a dead shard costs little
+    // Oversplit so a dead shard costs little; with `--workers 0` (remote
+    // workers only) there is no local pool to size against.
+    shards = options.workers > 0 ? options.workers * 2 : 4;
   }
 
   Spool spool(spool_root);
@@ -271,31 +319,114 @@ int RunServe(std::vector<std::string> args, const CliOptions& common) {
 
 int RunWork(std::vector<std::string> args, const CliOptions& common) {
   WorkerOptions options;
+  RemoteWorkerOptions remote;
+  std::string connect;
   options.jobs = common.jobs == 0 ? 1 : common.jobs;
   options.trace_cache_dir = common.trace_cache_dir;
   if (!common.quiet) {
     options.log = &std::cerr;
+    remote.log = &std::cerr;
   }
   for (std::size_t i = 0; i < args.size(); ++i) {
+    auto seconds = [&](const char* flag) -> std::optional<double> {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s requires an argument\n", flag);
+        return std::nullopt;
+      }
+      const auto parsed = ParseFiniteDouble(args[++i]);
+      if (!parsed || *parsed <= 0.0) {
+        std::fprintf(stderr, "error: %s wants a positive number of seconds\n", flag);
+        return std::nullopt;
+      }
+      return parsed;
+    };
     if (args[i] == "--spool" && i + 1 < args.size()) {
       options.spool_root = args[++i];
+    } else if (args[i] == "--connect" && i + 1 < args.size()) {
+      connect = args[++i];
+    } else if (args[i] == "--chunk-rows" && i + 1 < args.size()) {
+      const auto v = ParseUint64(args[++i]);
+      if (!v || *v == 0) return Usage();
+      remote.chunk_rows = *v;
+    } else if (args[i] == "--heartbeat-sec") {
+      const auto v = seconds("--heartbeat-sec");
+      if (!v) return Usage();
+      remote.heartbeat_sec = *v;
+    } else if (args[i] == "--poll-sec") {
+      const auto v = seconds("--poll-sec");
+      if (!v) return Usage();
+      remote.poll_sec = *v;
+    } else if (args[i] == "--connect-timeout") {
+      const auto v = seconds("--connect-timeout");
+      if (!v) return Usage();
+      remote.http.connect_timeout_sec = *v;
+    } else if (args[i] == "--io-timeout") {
+      const auto v = seconds("--io-timeout");
+      if (!v) return Usage();
+      remote.http.io_timeout_sec = *v;
+    } else if (args[i] == "--retries" && i + 1 < args.size()) {
+      const auto v = ParseUint64(args[++i]);
+      if (!v) return Usage();
+      remote.http.max_retries = *v;
+    } else if (args[i] == "--backoff-base-sec") {
+      const auto v = seconds("--backoff-base-sec");
+      if (!v) return Usage();
+      remote.http.backoff_base_sec = *v;
+    } else if (args[i] == "--net-fault" && i + 1 < args.size()) {
+      std::string fault_error;
+      const auto config = ParseNetFaultSpec(args[++i], &fault_error);
+      if (!config) {
+        std::fprintf(stderr, "error: %s\n", fault_error.c_str());
+        return Usage();
+      }
+      remote.net_fault = *config;
+    } else if (args[i] == "--worker-name" && i + 1 < args.size()) {
+      remote.worker_name = args[++i];
     } else if (args[i] == "--throttle-ms" && i + 1 < args.size()) {
       const auto v = ParseUint64(args[++i]);
       if (!v) return Usage();
       options.throttle_ms = *v;
+      remote.throttle_ms = *v;
     } else if (args[i] == "--kill-after-rows" && i + 1 < args.size()) {
       const auto v = ParseUint64(args[++i]);
       if (!v) return Usage();
       options.kill_after_rows = *v;
+      remote.kill_after_rows = *v;
     } else {
       std::fprintf(stderr, "error: unrecognised argument '%s'\n", args[i].c_str());
       return Usage();
     }
   }
-  if (options.spool_root.empty()) {
-    std::fprintf(stderr, "error: work requires --spool DIR\n");
+  if (options.spool_root.empty() == connect.empty()) {
+    std::fprintf(stderr, "error: work takes exactly one of --spool DIR or "
+                         "--connect HOST:PORT\n");
     return Usage();
   }
+
+  if (!connect.empty()) {
+    if (!ParseHostPort(connect, &remote.host, &remote.port)) {
+      return Usage();
+    }
+    remote.jobs = options.jobs;
+    remote.trace_cache_dir = options.trace_cache_dir;
+    const RemoteWorkerSummary summary = RunRemoteWorkerLoop(remote);
+    if (!common.quiet) {
+      std::fprintf(stderr,
+                   "mobisim_sweepd: remote worker done: %zu items, %zu rows "
+                   "(%zu inherited, %zu errors, %zu lost leases, "
+                   "%llu transport failures)%s\n",
+                   summary.items, summary.rows, summary.inherited,
+                   summary.error_rows, summary.lost_leases,
+                   static_cast<unsigned long long>(summary.transport_failures),
+                   summary.drained ? "; sweep drained" : "");
+    }
+    if (summary.unreachable) {
+      return RemoteWorkerOptions::kExitUnreachable;
+    }
+    return summary.error_rows > 0 ? RemoteWorkerOptions::kExitPoisoned
+                                  : RemoteWorkerOptions::kExitClean;
+  }
+
   const WorkerSummary summary = RunWorkerLoop(options);
   if (!common.quiet) {
     std::fprintf(stderr,
@@ -309,26 +440,71 @@ int RunWork(std::vector<std::string> args, const CliOptions& common) {
 
 // --- status --------------------------------------------------------------
 
+// Human-readable per-lease lines.  stderr, so stdout stays pure JSON for
+// scripted pollers (the CI job pipes it straight into a JSON parser).
+void PrintLeaseLines(const Spool& spool) {
+  for (const ResultRow& row : SpoolLeaseRows(spool, 0.0)) {
+    const double age = row.Number("heartbeat_age_sec", -1.0);
+    if (age < 0.0) {
+      std::fprintf(stderr, "lease %s attempt=%d owner=%llu rows=%llu (no heartbeat yet)\n",
+                   row.Text("item").c_str(),
+                   static_cast<int>(row.Number("attempt", 0)),
+                   static_cast<unsigned long long>(row.Number("owner", 0)),
+                   static_cast<unsigned long long>(row.Number("rows", 0)));
+    } else {
+      std::fprintf(stderr, "lease %s attempt=%d owner=%llu rows=%llu hb_age=%.1fs\n",
+                   row.Text("item").c_str(),
+                   static_cast<int>(row.Number("attempt", 0)),
+                   static_cast<unsigned long long>(row.Number("owner", 0)),
+                   static_cast<unsigned long long>(row.Number("rows", 0)), age);
+    }
+  }
+}
+
 int RunStatus(std::vector<std::string> args, const CliOptions& common) {
-  (void)common;
   std::string spool_root;
+  std::string connect;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--spool" && i + 1 < args.size()) {
       spool_root = args[++i];
+    } else if (args[i] == "--connect" && i + 1 < args.size()) {
+      connect = args[++i];
     } else {
       std::fprintf(stderr, "error: unrecognised argument '%s'\n", args[i].c_str());
       return Usage();
     }
   }
-  if (spool_root.empty()) {
-    std::fprintf(stderr, "error: status requires --spool DIR\n");
+  if (spool_root.empty() && connect.empty()) {
+    std::fprintf(stderr, "error: status requires --spool DIR or --connect HOST:PORT\n");
     return Usage();
   }
+
+  // A remote dispatcher: ask it and print its answer, nothing local to scan.
+  if (!connect.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!ParseHostPort(connect, &host, &port)) {
+      return Usage();
+    }
+    HttpClientOptions http;
+    http.max_retries = 0;  // a status poll either answers now or fails now
+    HttpClient client(host, port, http);
+    HttpResponse response;
+    std::string error;
+    if (!client.Fetch("GET", "/status", "", &response, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::fputs(response.body.c_str(), stdout);
+    return response.status == 200 ? 0 : 1;
+  }
+
   Spool spool(spool_root);
 
   // A live dispatcher publishes its port; prefer its view (it knows the
   // elapsed time and serves even while this process cannot read half-written
-  // state).  Fall back to scanning the spool directly.
+  // state).  Fall back to scanning the spool directly.  HttpGet carries its
+  // own deadline, so a hung dispatcher yields the fallback, not a hang.
   std::ifstream port_file(spool.PortPath());
   std::uint64_t port = 0;
   if (port_file >> port && port > 0 && port <= 65535) {
@@ -336,6 +512,9 @@ int RunStatus(std::vector<std::string> args, const CliOptions& common) {
     std::string error;
     if (HttpGet(static_cast<std::uint16_t>(port), "/status", &body, &error)) {
       std::fputs(body.c_str(), stdout);
+      if (!common.quiet) {
+        PrintLeaseLines(spool);
+      }
       return 0;
     }
   }
@@ -345,7 +524,10 @@ int RunStatus(std::vector<std::string> args, const CliOptions& common) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
-  std::printf("%s\n", RowToJson(SpoolStatusRow(spool, *meta, 0.0)).c_str());
+  std::printf("%s\n", RenderStatusJson(spool, *meta, 0.0, 0.0).c_str());
+  if (!common.quiet) {
+    PrintLeaseLines(spool);
+  }
   return 0;
 }
 

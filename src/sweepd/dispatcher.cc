@@ -5,6 +5,7 @@
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -14,6 +15,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "src/sweepd/lease.h"
 #include "src/sweepd/merge.h"
 #include "src/sweepd/spool.h"
 #include "src/util/atomic_file.h"
@@ -125,6 +127,43 @@ ResultRow SpoolStatusRow(const Spool& spool, const SpoolMeta& meta,
   return row;
 }
 
+std::vector<ResultRow> SpoolLeaseRows(const Spool& spool, double lease_sec) {
+  std::vector<ResultRow> rows;
+  for (const std::string& id : spool.ListIds("running")) {
+    std::string error;
+    const auto item = spool.ReadItem("running", id, &error);
+    const auto beat = ReadHeartbeat(spool.HeartbeatPath(id));
+    const auto age = SecondsSinceModified(spool.HeartbeatPath(id));
+    ResultRow row;
+    row.AddText("item", id);
+    row.AddInt("attempt", item ? item->attempt : 0);
+    row.AddInt("owner", beat ? beat->owner : 0);
+    row.AddInt("rows", beat ? beat->counter : 0);
+    row.AddNumber("heartbeat_age_sec", age ? *age : -1.0);
+    row.AddInt("stale", lease_sec > 0.0 && age && *age > lease_sec ? 1 : 0);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderStatusJson(const Spool& spool, const SpoolMeta& meta,
+                             double elapsed_sec, double lease_sec) {
+  std::string flat = RowToJson(SpoolStatusRow(spool, meta, elapsed_sec));
+  flat.pop_back();  // re-open the object to splice in the nested array
+  std::ostringstream out;
+  out << flat << ",\"lease_sec\":" << lease_sec << ",\"leases\":[";
+  bool first = true;
+  for (const ResultRow& row : SpoolLeaseRows(spool, lease_sec)) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << RowToJson(row);
+  }
+  out << "]}";
+  return out.str();
+}
+
 namespace {
 
 std::string RenderResults(const Spool& spool, const SpoolMeta& meta) {
@@ -165,15 +204,36 @@ DispatchSummary RunDispatcher(const DispatcherOptions& options) {
   };
 
   // Live endpoint: /status and /results recompute from the spool on every
-  // request, so the handler needs no shared mutable state with this loop.
+  // request, so the handler needs no shared mutable state with this loop;
+  // the lease endpoints (POST /lease, /heartbeat, /results, /done) go
+  // through the LeaseService, which locks internally.
   HttpServer http;
+  std::unique_ptr<LeaseService> lease_service;
   if (options.http_port >= 0) {
+    const auto spec_text = spool.ReadSpecText(&error);
+    if (!spec_text) {
+      if (options.log != nullptr) {
+        *options.log << "sweepd: " << error << "\n";
+      }
+      return summary;
+    }
+    LeaseServiceOptions lease_options;
+    lease_options.lease_sec = options.lease_sec;
+    lease_options.log = options.log;
+    lease_service =
+        std::make_unique<LeaseService>(&spool, *meta, *spec_text, lease_options);
     const bool ok = http.Start(
-        static_cast<std::uint16_t>(options.http_port),
-        [&spool, &meta, &elapsed](const HttpRequest& request) {
+        static_cast<std::uint16_t>(options.http_port), options.http_bind_any,
+        [&spool, &meta, &elapsed, &options,
+         lease = lease_service.get()](const HttpRequest& request) {
+          if (auto handled = lease->Handle(request)) {
+            return *handled;
+          }
           HttpResponse response;
           if (request.path == "/status" || request.path == "/") {
-            response.body = RowToJson(SpoolStatusRow(spool, *meta, elapsed())) + "\n";
+            response.body =
+                RenderStatusJson(spool, *meta, elapsed(), options.lease_sec) +
+                "\n";
           } else if (request.path == "/results") {
             response.content_type = "application/jsonl";
             response.body = RenderResults(spool, *meta);
@@ -227,6 +287,11 @@ DispatchSummary RunDispatcher(const DispatcherOptions& options) {
   // Requeue an item whose lease was forfeited, or fail it when its retry
   // budget is spent.
   const auto recover = [&](const WorkItem& item, const std::string& why) {
+    if (lease_service) {
+      // The holder's token dies with the lease: a late upload from the old
+      // owner now gets 410 Gone instead of touching the requeued item.
+      lease_service->InvalidateItem(item.id);
+    }
     ResultRow event;
     if (item.attempt < options.retry_budget) {
       if (spool.Requeue(item, &error)) {
@@ -364,6 +429,15 @@ DispatchSummary RunDispatcher(const DispatcherOptions& options) {
     (void)ordinal;
     int status = 0;
     ::waitpid(pid, &status, 0);
+  }
+
+  if (lease_service && lease_service->ever_leased()) {
+    // Tell remote pollers the sweep is over — "drained", not "empty" — and
+    // keep serving briefly so they can hear it and exit cleanly instead of
+    // finding a closed port mid-poll.
+    lease_service->set_drained(true);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(2.0 * options.poll_sec + 0.25));
   }
 
   if (http.running()) {

@@ -37,6 +37,10 @@ struct DispatcherOptions {
   double lease_sec = 30.0;  // heartbeat silence that forfeits a lease
   double poll_sec = 0.25;
   int http_port = -1;  // -1 = no endpoint; 0 = ephemeral (port in http.port)
+  // Loopback-only by default; binding all interfaces (so `work --connect`
+  // can reach the lease endpoints from another machine) takes an explicit
+  // flag because the endpoint trusts its network.
+  bool http_bind_any = false;
   std::string trace_cache_dir;  // forwarded to spawned workers
   std::ostream* log = nullptr;
 
@@ -69,6 +73,17 @@ DispatchSummary RunDispatcher(const DispatcherOptions& options);
 // used by the `status` subcommand when it inspects a spool directly.
 ResultRow SpoolStatusRow(const Spool& spool, const SpoolMeta& meta,
                          double elapsed_sec);
+
+// One row per running item: attempt, heartbeat owner, last-heartbeat age
+// (-1 when no heartbeat was ever written), and whether the lease is stale
+// against `lease_sec` (0 disables the staleness verdict).
+std::vector<ResultRow> SpoolLeaseRows(const Spool& spool, double lease_sec);
+
+// The full /status body: SpoolStatusRow's fields plus "lease_sec" and a
+// nested "leases" array of SpoolLeaseRows.  (Nested JSON — consumers that
+// only understand flat rows should use SpoolStatusRow directly.)
+std::string RenderStatusJson(const Spool& spool, const SpoolMeta& meta,
+                             double elapsed_sec, double lease_sec);
 
 }  // namespace mobisim
 

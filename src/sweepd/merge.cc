@@ -28,8 +28,24 @@ void SetError(std::string* error, const std::string& message) {
   }
 }
 
-// The single conflict-resolution rule shared by every merge entry point.
-// Returns false only on the hard conflict (two differing clean rows).
+MergedRun Finalize(std::map<std::uint64_t, ResultRow> merged, MergeStats stats,
+                   std::string spec_hash) {
+  MergedRun run;
+  run.spec_hash = std::move(spec_hash);
+  run.stats = stats;
+  run.rows.reserve(merged.size());
+  for (auto& [index, row] : merged) {
+    (void)index;
+    if (IsErrorRow(row)) {
+      ++run.stats.error_rows;
+    }
+    run.rows.push_back(std::move(row));
+  }
+  return run;
+}
+
+}  // namespace
+
 bool MergeRowInto(std::map<std::uint64_t, ResultRow>* merged, ResultRow row,
                   MergeStats* stats, std::string* error) {
   const auto index = PointIndexOf(row);
@@ -68,24 +84,6 @@ bool MergeRowInto(std::map<std::uint64_t, ResultRow>* merged, ResultRow row,
                       "of the same deterministic sweep");
   return false;
 }
-
-MergedRun Finalize(std::map<std::uint64_t, ResultRow> merged, MergeStats stats,
-                   std::string spec_hash) {
-  MergedRun run;
-  run.spec_hash = std::move(spec_hash);
-  run.stats = stats;
-  run.rows.reserve(merged.size());
-  for (auto& [index, row] : merged) {
-    (void)index;
-    if (IsErrorRow(row)) {
-      ++run.stats.error_rows;
-    }
-    run.rows.push_back(std::move(row));
-  }
-  return run;
-}
-
-}  // namespace
 
 std::optional<std::uint64_t> PointIndexOf(const ResultRow& row) {
   const ResultField* field = row.Find("point");

@@ -17,6 +17,7 @@
 #define MOBISIM_SRC_SWEEPD_MERGE_H_
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,14 @@ struct MergeStats {
   std::size_t overridden = 0;  // _error rows replaced by a clean retry row
   std::size_t error_rows = 0;  // _error rows remaining after the merge
 };
+
+// The single conflict-resolution rule every merge entry point shares (and
+// the lease service's /done finalizer): exact duplicates collapse, a clean
+// row replaces an `_error` row for the same point, never the reverse, and
+// two differing clean rows is the one hard error (returns false with
+// `error` set).  `merged` is keyed by global point index.
+bool MergeRowInto(std::map<std::uint64_t, ResultRow>* merged, ResultRow row,
+                  MergeStats* stats, std::string* error);
 
 struct MergedRun {
   std::string spec_hash;  // consistent across all inputs that declared one

@@ -190,6 +190,14 @@ std::optional<ExperimentSpec> Spool::LoadSpec(std::string* error) const {
   return ParseExperimentSpec(text, error);
 }
 
+std::optional<std::string> Spool::ReadSpecText(std::string* error) const {
+  std::string text;
+  if (!ReadFileToString(SpecPath(), &text, error)) {
+    return std::nullopt;
+  }
+  return text;
+}
+
 bool Spool::Enqueue(const WorkItem& item, std::string* error) const {
   return WriteFileAtomic(TaskPath("queue", item.id), WorkItemToJson(item) + "\n",
                          error);

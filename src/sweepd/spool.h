@@ -80,6 +80,10 @@ class Spool {
 
   std::optional<SpoolMeta> ReadMeta(std::string* error) const;
   std::optional<ExperimentSpec> LoadSpec(std::string* error) const;
+  // The verbatim bytes of spec.spec — what `POST /lease` hands to a remote
+  // worker, so a worker across the network parses the exact same text a
+  // shared-filesystem worker would.
+  std::optional<std::string> ReadSpecText(std::string* error) const;
 
   // --- paths ---
   std::string SpecPath() const { return root_ + "/spec.spec"; }

@@ -21,6 +21,8 @@
 #include <ostream>
 #include <string>
 
+#include "src/util/http_client.h"
+
 namespace mobisim {
 
 struct WorkerOptions {
@@ -54,6 +56,55 @@ struct WorkerSummary {
 // Claims and runs queued items until the queue is empty, then returns.
 // The process exit code should be kExitPoisoned when error_rows > 0.
 WorkerSummary RunWorkerLoop(const WorkerOptions& options);
+
+// --- remote mode (`work --connect HOST:PORT`) ---
+//
+// The same worker, speaking the dispatcher's HTTP lease protocol instead of
+// touching the spool: POST /lease to claim (the response carries the spec
+// text verbatim and the resume set), a background thread POSTing
+// /heartbeat, result rows uploaded in chunks via POST /results (idempotent
+// server-side, so chunks are retried blindly), POST /done to finalize.
+//
+// Partition tolerance is the worker's half of the protocol: every request
+// runs under connect/read deadlines with bounded exponential backoff, an
+// HTTP 410 on any request means the lease was forfeited (stop work on the
+// item, claim the next — whatever was uploaded is inherited by the next
+// owner), and a dispatcher that stays unreachable through the retry budget
+// ends the loop rather than spinning forever.
+struct RemoteWorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t jobs = 1;
+  std::string worker_name;  // self-reported in /lease; default host:pid
+  std::string trace_cache_dir;
+  double heartbeat_sec = 1.0;
+  double poll_sec = 0.5;        // wait between /lease polls while queue is empty
+  std::size_t chunk_rows = 8;   // rows per /results upload
+  HttpClientOptions http;       // timeouts, retries, backoff
+  NetFaultConfig net_fault;     // injected drops/delays/duplicates (tests, CI)
+  std::ostream* log = nullptr;
+
+  // Same test hooks as the local worker (see WorkerOptions).
+  std::size_t throttle_ms = 0;
+  std::size_t kill_after_rows = 0;  // _Exit(137) after N rows, like kill -9
+
+  static constexpr int kExitClean = 0;
+  static constexpr int kExitPoisoned = 3;     // finished, but with _error rows
+  static constexpr int kExitUnreachable = 4;  // dispatcher gone past retries
+};
+
+struct RemoteWorkerSummary {
+  std::size_t items = 0;       // shards this worker finalized via /done
+  std::size_t rows = 0;        // rows simulated and uploaded
+  std::size_t inherited = 0;   // points skipped via the lease's resume set
+  std::size_t error_rows = 0;  // poisoned points among its own rows
+  std::size_t lost_leases = 0;
+  std::uint64_t transport_failures = 0;  // failed attempts (before retry)
+  bool drained = false;      // dispatcher confirmed the sweep is complete
+  bool unreachable = false;  // loop ended because the dispatcher vanished
+};
+
+RemoteWorkerSummary RunRemoteWorkerLoop(const RemoteWorkerOptions& options);
 
 }  // namespace mobisim
 

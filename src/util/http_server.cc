@@ -1,5 +1,6 @@
 #include "src/util/http_server.h"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -10,12 +11,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "src/util/http_client.h"
+#include "src/util/parse.h"
+
 namespace mobisim {
 
 namespace {
 
 // Short timeout on every socket read/write: a stalled peer drops its own
-// connection instead of wedging the accept loop (status polls are tiny).
+// connection instead of wedging the accept loop (requests are small).
 void SetIoTimeout(int fd) {
   timeval tv{};
   tv.tv_sec = 2;
@@ -45,6 +49,12 @@ const char* StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 410:
+      return "Gone";
+    case 413:
+      return "Payload Too Large";
     default:
       return "Error";
   }
@@ -60,34 +70,89 @@ std::string RenderResponse(const HttpResponse& response) {
   return out.str();
 }
 
-// Reads until the end of the request headers (or the timeout); only the
-// request line is ever parsed.
-bool ReadRequestHead(int fd, std::string* head) {
-  char buf[1024];
-  while (head->find("\r\n\r\n") == std::string::npos &&
-         head->find("\n\n") == std::string::npos) {
+// Reads until the end of the request headers (or the timeout).  Returns
+// false when the peer vanished before sending a complete header block or
+// exceeded the header cap; `*data` keeps whatever arrived (headers plus any
+// body prefix read along with them), `*header_end` the offset just past the
+// blank line.
+bool ReadRequestHead(int fd, std::string* data, std::size_t* header_end) {
+  char buf[4096];
+  while (true) {
+    std::size_t end = data->find("\r\n\r\n");
+    std::size_t skip = 4;
+    if (end == std::string::npos) {
+      end = data->find("\n\n");
+      skip = 2;
+    }
+    if (end != std::string::npos) {
+      *header_end = end + skip;
+      return true;
+    }
+    if (data->size() > kHttpMaxHeaderBytes) {
+      return false;  // nobody sends 64 KB of headers to a sweep endpoint
+    }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {
-      return !head->empty() && head->find('\n') != std::string::npos;
+      return false;
     }
-    head->append(buf, static_cast<std::size_t>(n));
-    if (head->size() > 64 * 1024) {
-      return false;  // nobody sends 64 KB of headers to a status endpoint
+    data->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+// Case-insensitive Content-Length lookup over the raw header block.
+// Returns false on a malformed or non-numeric value ("Content-Length: huge"
+// must be a clean 400, not an allocation).
+bool FindContentLength(const std::string& head, std::size_t* length,
+                       bool* present) {
+  *length = 0;
+  *present = false;
+  std::istringstream lines(head);
+  std::string line;
+  std::getline(lines, line);  // request line
+  while (std::getline(lines, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
     }
+    std::string key = line.substr(0, colon);
+    for (char& c : key) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (key != "content-length") {
+      continue;
+    }
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.erase(value.begin());
+    }
+    while (!value.empty() &&
+           (value.back() == '\r' || value.back() == ' ' || value.back() == '\t')) {
+      value.pop_back();
+    }
+    const auto parsed = ParseUint64(value);
+    if (!parsed) {
+      return false;
+    }
+    *length = static_cast<std::size_t>(*parsed);
+    *present = true;
+    return true;
   }
   return true;
 }
 
 }  // namespace
 
-HttpResponse HttpNotFound() {
+HttpResponse HttpNotFound() { return HttpError(404, "not found"); }
+
+HttpResponse HttpError(int status, const std::string& message) {
   HttpResponse response;
-  response.status = 404;
-  response.body = "{\"error\":\"not found\"}\n";
+  response.status = status;
+  response.body = "{\"error\":\"" + message + "\"}\n";
   return response;
 }
 
-bool HttpServer::Start(std::uint16_t port, Handler handler, std::string* error) {
+bool HttpServer::Start(std::uint16_t port, bool bind_any, Handler handler,
+                       std::string* error) {
   Stop();
   handler_ = std::move(handler);
 
@@ -103,12 +168,13 @@ bool HttpServer::Start(std::uint16_t port, Handler handler, std::string* error) 
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 16) != 0) {
     if (error != nullptr) {
-      *error = "bind 127.0.0.1:" + std::to_string(port) + ": " + std::strerror(errno);
+      *error = std::string("bind ") + (bind_any ? "0.0.0.0:" : "127.0.0.1:") +
+               std::to_string(port) + ": " + std::strerror(errno);
     }
     ::close(fd);
     return false;
@@ -151,77 +217,104 @@ void HttpServer::AcceptLoop(int listen_fd) {
       return;  // listening socket closed: Stop() was called
     }
     SetIoTimeout(fd);
-    std::string head;
-    if (ReadRequestHead(fd, &head)) {
-      HttpRequest request;
-      std::istringstream line(head.substr(0, head.find('\n')));
-      line >> request.method >> request.path;
-      HttpResponse response;
-      if (request.method != "GET") {
-        response.status = 405;
-        response.body = "{\"error\":\"GET only\"}\n";
-      } else {
-        response = handler_(request);
+
+    // Parse one request, answer once, close.  Every early exit below still
+    // sends a well-formed error response when the peer is alive enough to
+    // receive one — hostile input must never hang or crash the endpoint.
+    std::string data;
+    std::size_t header_end = 0;
+    if (!ReadRequestHead(fd, &data, &header_end)) {
+      if (data.size() > kHttpMaxHeaderBytes) {
+        WriteAll(fd, RenderResponse(HttpError(400, "oversized request head")));
+      } else if (!data.empty()) {
+        // Torn request: bytes arrived but never a complete header block.
+        WriteAll(fd, RenderResponse(HttpError(400, "truncated request")));
       }
-      WriteAll(fd, RenderResponse(response));
+      ::close(fd);
+      continue;
     }
+
+    const std::string head = data.substr(0, header_end);
+    HttpRequest request;
+    std::string version;
+    {
+      std::istringstream line(head.substr(0, head.find('\n')));
+      line >> request.method >> request.path >> version;
+    }
+    if (request.method.empty() || request.path.empty() ||
+        request.path[0] != '/') {
+      WriteAll(fd, RenderResponse(HttpError(400, "malformed request line")));
+      ::close(fd);
+      continue;
+    }
+    if (request.method != "GET" && request.method != "POST") {
+      WriteAll(fd, RenderResponse(HttpError(405, "GET or POST only")));
+      ::close(fd);
+      continue;
+    }
+
+    std::size_t content_length = 0;
+    bool has_length = false;
+    if (!FindContentLength(head, &content_length, &has_length)) {
+      WriteAll(fd, RenderResponse(HttpError(400, "bad Content-Length")));
+      ::close(fd);
+      continue;
+    }
+    if (request.method == "GET" && has_length && content_length > 0) {
+      // A GET carrying a body is a confused or hostile client; answer
+      // cleanly without ever reading the body.
+      WriteAll(fd, RenderResponse(HttpError(400, "GET does not take a body")));
+      ::close(fd);
+      continue;
+    }
+    if (content_length > kHttpMaxBodyBytes) {
+      WriteAll(fd, RenderResponse(HttpError(413, "body too large")));
+      ::close(fd);
+      continue;
+    }
+
+    if (request.method == "POST" && content_length > 0) {
+      // Whatever followed the blank line was already read; recv the rest.
+      request.body = data.substr(header_end);
+      bool torn = false;
+      char buf[4096];
+      while (request.body.size() < content_length) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+          torn = true;  // peer died or stalled mid-body
+          break;
+        }
+        request.body.append(buf, static_cast<std::size_t>(n));
+      }
+      if (torn) {
+        WriteAll(fd, RenderResponse(HttpError(400, "truncated body")));
+        ::close(fd);
+        continue;
+      }
+      request.body.resize(content_length);  // ignore trailing surplus bytes
+    }
+
+    WriteAll(fd, RenderResponse(handler_(request)));
     ::close(fd);
   }
 }
 
 bool HttpGet(std::uint16_t port, const std::string& path, std::string* body,
-             std::string* error, int* status) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    if (error != nullptr) {
-      *error = std::string("socket: ") + std::strerror(errno);
-    }
-    return false;
-  }
-  SetIoTimeout(fd);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error != nullptr) {
-      *error = "connect 127.0.0.1:" + std::to_string(port) + ": " + std::strerror(errno);
-    }
-    ::close(fd);
-    return false;
-  }
-  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
-  if (!WriteAll(fd, request)) {
-    if (error != nullptr) {
-      *error = "send failed";
-    }
-    ::close(fd);
-    return false;
-  }
-  std::string response;
-  char buf[4096];
-  ssize_t n = 0;
-  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-
-  const std::size_t header_end = response.find("\r\n\r\n");
-  if (header_end == std::string::npos) {
-    if (error != nullptr) {
-      *error = "malformed HTTP response";
-    }
+             std::string* error, int* status, double timeout_sec) {
+  HttpClientOptions options;
+  options.connect_timeout_sec = timeout_sec;
+  options.io_timeout_sec = timeout_sec;
+  options.max_retries = 0;  // a status poll either answers now or fails now
+  HttpClient client("127.0.0.1", port, options);
+  HttpResponse response;
+  if (!client.Fetch("GET", path, "", &response, error)) {
     return false;
   }
   if (status != nullptr) {
-    // "HTTP/1.0 200 OK" -> 200; atoi semantics are fine for a 3-digit code.
-    const std::size_t space = response.find(' ');
-    *status = space == std::string::npos
-                  ? 0
-                  : std::atoi(response.c_str() + space + 1);
+    *status = response.status;
   }
   if (body != nullptr) {
-    *body = response.substr(header_end + 4);
+    *body = response.body;
   }
   return true;
 }

@@ -1,12 +1,19 @@
 // Minimal embedded HTTP endpoint for local services.
 //
-// Deliberately tiny: GET-only HTTP/1.0-style request handling on a loopback
-// socket, one background accept thread, one connection served at a time.
-// That is exactly what a local sweep service needs for live status — a
-// browser or curl can poll it — without pulling in an HTTP library.  The
-// server never reads request bodies and closes the connection after every
-// response, so a slow or malicious client can stall at most one poll, never
-// the service itself (reads carry a short socket timeout).
+// Deliberately tiny: GET/POST HTTP/1.0-style request handling, one
+// background accept thread, one connection served at a time.  That is
+// exactly what a sweep service needs — status polls from a browser or curl,
+// and the sweepd lease protocol's small POST bodies — without pulling in an
+// HTTP library.  The server closes the connection after every response, so
+// a slow or malicious client can stall at most one request, never the
+// service itself (reads carry a short socket timeout), and hostile input
+// (torn request lines, oversized headers, a body on a GET, absurd
+// Content-Length values) gets a clean 4xx and a closed socket, never a hang
+// or a crash.
+//
+// The listening socket binds 127.0.0.1 unless the caller explicitly opts
+// into all interfaces (`bind_any`) — serving remote sweep workers is a
+// deliberate decision, not a default.
 #ifndef MOBISIM_SRC_UTIL_HTTP_SERVER_H_
 #define MOBISIM_SRC_UTIL_HTTP_SERVER_H_
 
@@ -17,9 +24,16 @@
 
 namespace mobisim {
 
+// Hard limits on what a request may look like.  Status polls are tiny and
+// lease-protocol bodies are bounded by shard row counts; anything larger is
+// hostile or broken.
+constexpr std::size_t kHttpMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kHttpMaxBodyBytes = 16 * 1024 * 1024;
+
 struct HttpRequest {
-  std::string method;  // "GET"
+  std::string method;  // "GET" or "POST" (anything else is rejected early)
   std::string path;    // "/status" (query string included verbatim)
+  std::string body;    // POST payload; always empty for GET
 };
 
 struct HttpResponse {
@@ -28,8 +42,9 @@ struct HttpResponse {
   std::string body;
 };
 
-// 404 with a one-line JSON body; the default for unrouted paths.
+// Canned one-line JSON error responses.
 HttpResponse HttpNotFound();
+HttpResponse HttpError(int status, const std::string& message);
 
 class HttpServer {
  public:
@@ -40,10 +55,16 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
-  // the accept thread.  Returns false with `error` set when the socket
-  // cannot be created or bound.  The handler runs on the accept thread.
-  bool Start(std::uint16_t port, Handler handler, std::string* error);
+  // Binds `port` (0 = kernel-assigned ephemeral port) and starts the accept
+  // thread.  Binds 127.0.0.1 unless `bind_any` is true (0.0.0.0 — remote
+  // workers can connect; only do this behind an explicit CLI flag).
+  // Returns false with `error` set when the socket cannot be created or
+  // bound.  The handler runs on the accept thread.
+  bool Start(std::uint16_t port, bool bind_any, Handler handler,
+             std::string* error);
+  bool Start(std::uint16_t port, Handler handler, std::string* error) {
+    return Start(port, /*bind_any=*/false, std::move(handler), error);
+  }
 
   // The bound port (useful after Start(0)); 0 when not running.
   std::uint16_t port() const { return port_; }
@@ -65,10 +86,13 @@ class HttpServer {
 
 // Blocking GET against a local server: fetches `path` from 127.0.0.1:`port`
 // and stores the response body.  Returns false with `error` set on connect
-// or protocol failure.  `status` (when non-null) receives the HTTP status
-// code.  Used by the status CLI and by tests; not a general HTTP client.
+// or protocol failure — including when `timeout_sec` expires, so a hung or
+// partitioned server yields an error instead of wedging the caller forever.
+// `status` (when non-null) receives the HTTP status code.  Implemented over
+// src/util/http_client.h; kept here for the status CLI and tests.
 bool HttpGet(std::uint16_t port, const std::string& path, std::string* body,
-             std::string* error, int* status = nullptr);
+             std::string* error, int* status = nullptr,
+             double timeout_sec = 5.0);
 
 }  // namespace mobisim
 

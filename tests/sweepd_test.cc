@@ -25,11 +25,13 @@
 #include "src/runner/result_sink.h"
 #include "src/runner/sweep_runner.h"
 #include "src/sweepd/dispatcher.h"
+#include "src/sweepd/lease.h"
 #include "src/sweepd/merge.h"
 #include "src/sweepd/spool.h"
 #include "src/sweepd/worker.h"
 #include "src/util/atomic_file.h"
 #include "src/util/heartbeat.h"
+#include "src/util/http_client.h"
 #include "src/util/http_server.h"
 
 namespace mobisim {
@@ -581,6 +583,366 @@ TEST(DispatcherTest, StatusRowCountsSpoolStates) {
   EXPECT_EQ(row.Number("points_done", -1), 4.0);
   EXPECT_EQ(row.Number("points_per_sec", -1), 2.0);
   EXPECT_EQ(row.Number("eta_sec", -1), 0.0);
+}
+
+TEST(DispatcherTest, LeaseRowsReportHeartbeatAgeAndStaleness) {
+  const std::string root = FreshDir("leaserows");
+  std::filesystem::remove_all(root);
+  std::string error;
+  ASSERT_TRUE(Spool::Create(root, kTinySpec, "tiny", 2, &error).has_value()) << error;
+  Spool spool(root);
+  const auto meta = spool.ReadMeta(&error);
+  ASSERT_TRUE(meta.has_value()) << error;
+
+  EXPECT_TRUE(SpoolLeaseRows(spool, 30.0).empty());
+
+  const auto item = spool.Claim(42, &error);
+  ASSERT_TRUE(item.has_value()) << error;
+  const auto rows = SpoolLeaseRows(spool, 30.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].Text("item"), item->id);
+  EXPECT_EQ(rows[0].Number("owner", -1), 42.0);
+  EXPECT_GE(rows[0].Number("heartbeat_age_sec", -1), 0.0);
+  EXPECT_EQ(rows[0].Number("stale", -1), 0.0);
+
+  // An impossibly tight lease deadline marks the same heartbeat stale; 0
+  // disables the verdict entirely.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const auto stale = SpoolLeaseRows(spool, 0.001);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].Number("stale", -1), 1.0);
+  const auto unjudged = SpoolLeaseRows(spool, 0.0);
+  ASSERT_EQ(unjudged.size(), 1u);
+  EXPECT_EQ(unjudged[0].Number("stale", -1), 0.0);
+
+  // The /status payload nests the lease rows after the flat counters.
+  const std::string status = RenderStatusJson(spool, *meta, 1.0, 30.0);
+  EXPECT_NE(status.find("\"lease_sec\":"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"leases\":["), std::string::npos) << status;
+  EXPECT_NE(status.find(item->id), std::string::npos) << status;
+}
+
+// --- remote workers over the HTTP lease protocol -------------------------
+
+HttpRequest PostRequest(const std::string& path, const std::string& body) {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = path;
+  request.body = body;
+  return request;
+}
+
+ResultRow ResponseRow(const HttpResponse& response) {
+  std::string text = response.body;
+  while (!text.empty() && text.back() == '\n') {
+    text.pop_back();
+  }
+  std::string error;
+  const auto row = RowFromJson(text, &error);
+  EXPECT_TRUE(row.has_value()) << error << ": " << response.body;
+  return row.value_or(ResultRow{});
+}
+
+// The dispatcher publishes its (ephemeral) port to <root>/http.port once the
+// endpoint is listening.
+std::uint16_t WaitForPortFile(const std::string& root) {
+  for (int i = 0; i < 1000; ++i) {
+    std::ifstream in(root + "/http.port");
+    int port = 0;
+    if (in >> port && port > 0 && port <= 65535) {
+      return static_cast<std::uint16_t>(port);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "dispatcher never published its port";
+  return 0;
+}
+
+TEST(RemoteWorkerTest, CleanRemoteSweepMatchesSerial) {
+  const std::string root = FreshDir("remoteclean");
+  std::filesystem::remove_all(root);
+  std::string error;
+  ASSERT_TRUE(Spool::Create(root, kTinySpec, "tiny", 3, &error).has_value()) << error;
+
+  DispatcherOptions options;
+  options.spool_root = root;
+  options.workers = 0;  // remote-only: every shard must travel the lease API
+  options.worker_binary = "/nonexistent/worker";
+  options.http_port = 0;
+  options.poll_sec = 0.02;
+  DispatchSummary dispatch;
+  std::thread dispatcher([&] { dispatch = RunDispatcher(options); });
+
+  RemoteWorkerOptions remote;
+  remote.port = WaitForPortFile(root);
+  remote.worker_name = "test-remote";
+  remote.poll_sec = 0.02;
+  remote.heartbeat_sec = 0.05;
+  remote.chunk_rows = 2;
+  const RemoteWorkerSummary summary = RunRemoteWorkerLoop(remote);
+  dispatcher.join();
+
+  EXPECT_EQ(summary.items, 3u);
+  EXPECT_EQ(summary.rows, 4u);
+  EXPECT_EQ(summary.lost_leases, 0u);
+  EXPECT_TRUE(summary.drained);
+  EXPECT_FALSE(summary.unreachable);
+  EXPECT_TRUE(dispatch.complete);
+  EXPECT_EQ(dispatch.shards_failed, 0u);
+  EXPECT_EQ(MergedRowsJson(root), SerialRowsJson(kTinySpec));
+}
+
+TEST(RemoteWorkerTest, FaultInjectedSweepStillMatchesSerial) {
+  const std::string root = FreshDir("remotefaults");
+  std::filesystem::remove_all(root);
+  std::string error;
+  ASSERT_TRUE(Spool::Create(root, kTinySpec, "tiny", 3, &error).has_value()) << error;
+
+  DispatcherOptions options;
+  options.spool_root = root;
+  options.workers = 0;
+  options.worker_binary = "/nonexistent/worker";
+  options.http_port = 0;
+  options.poll_sec = 0.02;
+  // A duplicated /lease request claims a shard nobody works on; its lease
+  // must expire and requeue, so keep the deadline tight and the budget deep.
+  options.lease_sec = 0.4;
+  options.retry_budget = 10;
+  DispatchSummary dispatch;
+  std::thread dispatcher([&] { dispatch = RunDispatcher(options); });
+
+  RemoteWorkerOptions remote;
+  remote.port = WaitForPortFile(root);
+  remote.worker_name = "test-faulty";
+  remote.poll_sec = 0.02;
+  remote.heartbeat_sec = 0.05;
+  remote.chunk_rows = 1;  // more requests: more chances for the faults to bite
+  remote.http.max_retries = 8;
+  remote.http.backoff_base_sec = 0.01;
+  remote.http.backoff_max_sec = 0.05;
+  remote.net_fault.seed = 3;
+  remote.net_fault.drop_rate = 0.3;
+  remote.net_fault.dup_rate = 0.3;
+  const RemoteWorkerSummary summary = RunRemoteWorkerLoop(remote);
+  dispatcher.join();
+
+  EXPECT_TRUE(summary.drained);
+  EXPECT_FALSE(summary.unreachable);
+  EXPECT_GT(summary.transport_failures, 0u);  // the faults actually fired
+  EXPECT_TRUE(dispatch.complete);
+  EXPECT_EQ(dispatch.shards_failed, 0u);
+  EXPECT_EQ(dispatch.points_done, 4u);
+  // Drops, duplicates, retries, requeues — none of it may change a byte of
+  // the merged output.
+  EXPECT_EQ(MergedRowsJson(root), SerialRowsJson(kTinySpec));
+}
+
+TEST(RemoteWorkerTest, KilledWorkerRequeuesAndSuccessorConverges) {
+  const std::string root = FreshDir("remotekill");
+  std::filesystem::remove_all(root);
+  std::string error;
+  // One shard holding all four points, so the kill lands mid-shard.
+  ASSERT_TRUE(Spool::Create(root, kTinySpec, "tiny", 1, &error).has_value()) << error;
+
+  // fork() order matters under TSan: both children fork before this process
+  // creates any threads (the in-process successor worker comes last).
+  DispatcherOptions options;
+  options.spool_root = root;
+  options.workers = 0;
+  options.worker_binary = "/nonexistent/worker";
+  options.http_port = 0;
+  options.poll_sec = 0.02;
+  options.lease_sec = 0.4;  // the dead worker's lease must expire quickly
+  options.retry_budget = 2;
+  const pid_t dispatcher_pid = fork();
+  ASSERT_GE(dispatcher_pid, 0);
+  if (dispatcher_pid == 0) {
+    const DispatchSummary summary = RunDispatcher(options);
+    _exit(summary.complete && summary.shards_failed == 0 ? 0 : 1);
+  }
+
+  const std::uint16_t port = WaitForPortFile(root);
+
+  // The doomed worker: chunk_rows=1 streams each row immediately, so two
+  // rows reach the dispatcher before _Exit(137) — a faithful SIGKILL: no
+  // /done, no heartbeat stop, the lease just goes silent.
+  const pid_t doomed_pid = fork();
+  ASSERT_GE(doomed_pid, 0);
+  if (doomed_pid == 0) {
+    RemoteWorkerOptions doomed;
+    doomed.port = port;
+    doomed.worker_name = "doomed";
+    doomed.poll_sec = 0.02;
+    doomed.heartbeat_sec = 0.05;
+    doomed.chunk_rows = 1;
+    doomed.kill_after_rows = 2;
+    RunRemoteWorkerLoop(doomed);
+    _exit(0);  // not reached: the kill hook fires first
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(doomed_pid, &status, 0), doomed_pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 137);
+
+  // The successor polls until the expired lease requeues, inherits the dead
+  // worker's two uploaded rows via the resume set, and finishes the shard.
+  RemoteWorkerOptions successor;
+  successor.port = port;
+  successor.worker_name = "successor";
+  successor.poll_sec = 0.02;
+  successor.heartbeat_sec = 0.05;
+  const RemoteWorkerSummary summary = RunRemoteWorkerLoop(successor);
+  EXPECT_EQ(summary.items, 1u);
+  EXPECT_EQ(summary.inherited, 2u);
+  EXPECT_EQ(summary.rows, 2u);
+  EXPECT_TRUE(summary.drained);
+
+  ASSERT_EQ(waitpid(dispatcher_pid, &status, 0), dispatcher_pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The recovery is on the record, and the merged output is byte-identical
+  // to the serial run: same rows, no duplicates, global point order.
+  std::ifstream events(root + "/events.jsonl");
+  std::stringstream buffer;
+  buffer << events.rdbuf();
+  EXPECT_NE(buffer.str().find("shard_requeued"), std::string::npos);
+  EXPECT_EQ(MergedRowsJson(root), SerialRowsJson(kTinySpec));
+}
+
+// --- LeaseService failure ordering, driven directly ----------------------
+
+TEST(LeaseServiceTest, LateUploadAfterRequeueGets410WithoutCorruption) {
+  const std::string root = FreshDir("leaselate");
+  std::filesystem::remove_all(root);
+  std::string error;
+  ASSERT_TRUE(Spool::Create(root, kTinySpec, "tiny", 1, &error).has_value()) << error;
+  Spool spool(root);
+  const auto meta = spool.ReadMeta(&error);
+  ASSERT_TRUE(meta.has_value()) << error;
+  const auto spec_text = spool.ReadSpecText(&error);
+  ASSERT_TRUE(spec_text.has_value()) << error;
+
+  LeaseService service(&spool, *meta, *spec_text, {});
+  EXPECT_FALSE(service.Handle(PostRequest("/status", "")).has_value());
+  {
+    HttpRequest get = PostRequest("/lease", "");
+    get.method = "GET";
+    const auto response = service.Handle(get);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 405);
+  }
+
+  // Claim the only shard.
+  auto response = service.Handle(PostRequest("/lease", "{\"worker\":\"t\"}"));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, 200);
+  ResultRow grant = ResponseRow(*response);
+  EXPECT_EQ(grant.Text("state"), "lease");
+  EXPECT_EQ(grant.Text("spec"), *spec_text);  // verbatim bytes, newlines intact
+  EXPECT_EQ(grant.Number("expected_points", -1), 4.0);
+  EXPECT_EQ(grant.Text("done_points"), "");
+  const std::string token = grant.Text("token");
+  ASSERT_FALSE(token.empty());
+  EXPECT_EQ(service.active_leases(), 1u);
+
+  const auto chunk = [&](const std::string& chunk_token,
+                         const std::vector<ResultRow>& rows) {
+    std::ostringstream body;
+    body << "{\"token\":\"" << chunk_token << "\"}\n";
+    for (const ResultRow& row : rows) {
+      body << RowToJson(row) << "\n";
+    }
+    return PostRequest("/results", body.str());
+  };
+
+  // Two rows land; the identical chunk replayed is a pure no-op.
+  response = service.Handle(chunk(token, {DataRow(0, "a"), DataRow(1, "b")}));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(ResponseRow(*response).Number("accepted", -1), 2.0);
+  response = service.Handle(chunk(token, {DataRow(0, "a"), DataRow(1, "b")}));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(ResponseRow(*response).Number("accepted", -1), 0.0);
+  EXPECT_EQ(ResponseRow(*response).Number("duplicates", -1), 2.0);
+
+  // Finalizing short must refuse: two of four points uploaded.
+  response = service.Handle(
+      PostRequest("/done", "{\"token\":\"" + token + "\"}"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 409);
+  EXPECT_NE(response->body.find("incomplete upload"), std::string::npos);
+
+  // The dispatcher expires the lease: requeue + token invalidation, exactly
+  // its recovery sequence.  The partitioned worker's late requests now get
+  // 410 Gone and change nothing on disk.
+  const auto item = spool.ReadItem("running", "shard-0000", &error);
+  ASSERT_TRUE(item.has_value()) << error;
+  ASSERT_TRUE(spool.Requeue(*item, &error)) << error;
+  service.InvalidateItem(item->id);
+  EXPECT_EQ(service.active_leases(), 0u);
+
+  response = service.Handle(chunk(token, {DataRow(2, "late")}));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 410);
+  response = service.Handle(PostRequest("/done", "{\"token\":\"" + token + "\"}"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 410);
+  response = service.Handle(
+      PostRequest("/heartbeat", "{\"token\":\"" + token + "\"}"));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 410);
+  EXPECT_EQ(spool.CountItems().done, 0u);
+
+  // The next claimant inherits the first attempt's rows as its resume set
+  // and finishes with only the remainder.
+  response = service.Handle(PostRequest("/lease", "{\"worker\":\"t2\"}"));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, 200);
+  grant = ResponseRow(*response);
+  EXPECT_EQ(grant.Text("state"), "lease");
+  EXPECT_EQ(grant.Text("done_points"), "0,1");
+  const std::string token2 = grant.Text("token");
+  EXPECT_NE(token2, token);
+
+  response = service.Handle(chunk(token2, {DataRow(2, "c"), DataRow(3, "d")}));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(ResponseRow(*response).Number("accepted", -1), 2.0);
+  response = service.Handle(PostRequest("/done", "{\"token\":\"" + token2 + "\"}"));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(ResponseRow(*response).Number("rows", -1), 4.0);
+  EXPECT_EQ(spool.CountItems().done, 1u);
+
+  // The queue is dry; /lease answers "empty" until the dispatcher flips the
+  // drain flag, then "drained".
+  response = service.Handle(PostRequest("/lease", ""));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(ResponseRow(*response).Text("state"), "empty");
+  service.set_drained(true);
+  response = service.Handle(PostRequest("/lease", ""));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(ResponseRow(*response).Text("state"), "drained");
+}
+
+TEST(LeaseServiceTest, ExpectedItemPointsCoversShardsAndRetryLists) {
+  WorkItem whole;
+  whole.shard = 0;
+  whole.shards = 3;
+  // 10 points over 3 shards: index % 3 == 0 keeps 4, the others 3.
+  EXPECT_EQ(ExpectedItemPoints(whole, 10), 4u);
+  whole.shard = 1;
+  EXPECT_EQ(ExpectedItemPoints(whole, 10), 3u);
+  whole.shard = 2;
+  EXPECT_EQ(ExpectedItemPoints(whole, 10), 3u);
+
+  WorkItem retry;
+  retry.shard = 0;
+  retry.shards = 1;
+  retry.points = {3, 7};
+  EXPECT_EQ(ExpectedItemPoints(retry, 10), 2u);
 }
 
 }  // namespace
