@@ -31,6 +31,7 @@ WearOutResult RunToDestruction(CleaningPolicy policy, double zipf_skew,
   config.segment_bytes = 64 * 1024;
   config.block_bytes = 512;
   config.endurance_limit = endurance;
+  config.cleaning_policy = policy;
   SegmentManager manager(config);
 
   const std::uint64_t span = manager.total_blocks() * 6 / 10;  // 60% utilization
@@ -43,7 +44,7 @@ WearOutResult RunToDestruction(CleaningPolicy policy, double zipf_skew,
     // Maintain the cleaning reserve; the card is dead when it cannot.
     bool dead = false;
     while (manager.free_slots() <= 2ull * manager.blocks_per_segment()) {
-      const std::uint32_t victim = manager.PickVictim(policy);
+      const std::uint32_t victim = manager.PickVictim();
       if (victim == SegmentManager::kNoSegment ||
           manager.free_slots() < manager.VictimLiveBlocks(victim)) {
         dead = true;

@@ -31,7 +31,7 @@ void BM_SegmentManagerWrite(benchmark::State& state) {
   std::uint64_t lba = 0;
   for (auto _ : state) {
     if (manager.free_slots() <= manager.blocks_per_segment() * 2) {
-      const std::uint32_t victim = manager.PickVictim(CleaningPolicy::kGreedy);
+      const std::uint32_t victim = manager.PickVictim();
       if (victim != SegmentManager::kNoSegment) {
         manager.CleanSegment(victim);
       }

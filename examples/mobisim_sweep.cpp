@@ -29,6 +29,12 @@
 // to stdout when none are given).  The same code path serves
 // `mobisim_sweepd merge`, so the two tools cannot disagree about dedup.
 //
+// --matrix FILE additionally renders the run as a side-by-side ablation
+// matrix (markdown, one table per metric, a column per policy tuple) to
+// FILE ("-" for stdout).  Works in both sweep and --merge modes, so a
+// policy-grid sweep farmed out over sweepd workers renders the same matrix
+// as a serial run.
+//
 // --list prints the enumerated grid without running it, then the registered
 // benches of the canned paper experiments (run those with `mobisim_bench`).
 //
@@ -47,6 +53,7 @@
 
 #include "src/bench_db/bench_db.h"
 #include "src/core/config_text.h"
+#include "src/runner/ablation.h"
 #include "src/runner/bench_registry.h"
 #include "src/runner/cli_options.h"
 #include "src/runner/experiment_spec.h"
@@ -65,14 +72,43 @@ using namespace mobisim;
 int Usage() {
   std::fprintf(stderr,
                "usage: mobisim_sweep [--spec FILE] [key=value ...] [--list]\n"
-               "                     [--shard K/N] [--merge DIR] [common flags]\n"
+               "                     [--shard K/N] [--merge DIR] [--matrix FILE]\n"
+               "                     [common flags]\n"
                "%s"
                "sweep keys: devices workloads utilizations dram_sizes sram_sizes\n"
-               "            cleaning_policies power_loss_intervals seeds scale\n"
-               "            replicas  (comma lists)\n"
+               "            backends ftl cleaning_policies power_loss_intervals\n"
+               "            seeds scale replicas  (comma lists)\n"
                "plus any base-config key from src/core/config_text.h\n",
                CommonFlagsUsage());
   return 2;
+}
+
+// Writes the rendered ablation matrix to `path` ("-" for stdout).  Returns
+// false (with stderr diagnostics) when the file cannot be written — a sweep
+// whose requested matrix is lost should not exit 0.
+bool WriteMatrix(const std::string& path, const std::vector<ResultRow>& rows,
+                 bool quiet) {
+  const std::string matrix = RenderAblationMatrix(rows);
+  if (path == "-") {
+    std::fwrite(matrix.data(), 1, matrix.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open matrix file %s\n", path.c_str());
+    return false;
+  }
+  out << matrix;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: failed writing matrix file %s\n", path.c_str());
+    return false;
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "mobisim_sweep: wrote ablation matrix to %s\n",
+                 path.c_str());
+  }
+  return true;
 }
 
 int RunMain(int argc, char** argv) {
@@ -89,6 +125,7 @@ int RunMain(int argc, char** argv) {
   std::size_t shards = 1;
   bool list_only = false;
   std::string merge_dir;
+  std::string matrix_path;
 
   std::vector<std::string> assignments;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -128,6 +165,12 @@ int RunMain(int argc, char** argv) {
         return Usage();
       }
       merge_dir = args[++i];
+    } else if (args[i] == "--matrix") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: --matrix requires a file argument\n");
+        return Usage();
+      }
+      matrix_path = args[++i];
     } else if (args[i] == "--list") {
       list_only = true;
     } else if (args[i].find('=') != std::string::npos) {
@@ -146,6 +189,10 @@ int RunMain(int argc, char** argv) {
     const auto merged = MergeShardDir(merge_dir, &error);
     if (!merged) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    if (!matrix_path.empty() &&
+        !WriteMatrix(matrix_path, merged->rows, common.quiet)) {
       return 1;
     }
     return ExportMergedRun(*merged, common,
@@ -223,6 +270,16 @@ int RunMain(int argc, char** argv) {
 
   const std::vector<SweepOutcome> outcomes = RunSweep(points, options);
   sinks.Finish();
+  if (!matrix_path.empty()) {
+    std::vector<ResultRow> matrix_rows;
+    matrix_rows.reserve(outcomes.size());
+    for (const SweepOutcome& outcome : outcomes) {
+      matrix_rows.push_back(outcome.row);
+    }
+    if (!WriteMatrix(matrix_path, matrix_rows, common.quiet)) {
+      return 1;
+    }
+  }
   if (trace_cache != nullptr && !common.quiet) {
     std::fprintf(stderr, "mobisim_sweep: %s\n", trace_cache->StatsLine().c_str());
   }

@@ -13,6 +13,8 @@ cd "$(dirname "$0")/.."
 
 SPEC=specs/ci_reference.spec
 NAME=ci_reference
+ABLATION_SPEC=specs/ablation_smoke.spec
+ABLATION_NAME=ablation
 BUILD=${1:-build}
 SWEEP=$BUILD/examples/mobisim_sweep
 BENCH=$BUILD/examples/mobisim_bench
@@ -50,6 +52,11 @@ stage=$(mktemp -d "$PWD/bench_db.stage.XXXXXX")
 trap 'rm -rf "$tmp" "$stage"' EXIT
 "$SWEEP" --spec "$SPEC" --db "$stage" --name "$NAME" --sha baseline --quiet
 
+# The FTL policy ablation baseline: every translation/cleaning policy at
+# both bounding utilizations, gated the same way as the reference sweep.
+"$SWEEP" --spec "$ABLATION_SPEC" --db "$stage" --name "$ABLATION_NAME" \
+         --sha baseline --quiet
+
 # The throughput baseline is machine-speed data, not simulator output, so it
 # skips the determinism check; run it serial and warm-cached so the recorded
 # noise band reflects timing jitter alone, not thread contention or trace
@@ -61,6 +68,8 @@ trap 'rm -rf "$tmp" "$stage"' EXIT
 # Sanity: each fresh baseline must gate itself clean.
 "$DIFF" --base "$stage/baseline/$NAME.jsonl" \
         --cand "$stage/baseline/$NAME.jsonl" --quiet
+"$DIFF" --base "$stage/baseline/$ABLATION_NAME.jsonl" \
+        --cand "$stage/baseline/$ABLATION_NAME.jsonl" --quiet
 "$DIFF" --base "$stage/baseline/throughput.jsonl" \
         --cand "$stage/baseline/throughput.jsonl" \
         --metrics ns_per_record,sec_per_point --quiet
@@ -93,4 +102,4 @@ print(f"  {path}: spec={meta.get('spec_name', '?')}"
       f" created={meta.get('created', '?')}")
 EOF
 done
-echo "update_baseline: bench_db/baseline/{$NAME,throughput}.jsonl refreshed; commit bench_db/"
+echo "update_baseline: bench_db/baseline/{$NAME,$ABLATION_NAME,throughput}.jsonl refreshed; commit bench_db/"

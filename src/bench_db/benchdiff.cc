@@ -17,7 +17,7 @@ constexpr double kEps = 1e-12;
 const char* kGroupColumns[] = {
     "workload",   "device",     "scale",          "utilization",
     "dram_bytes", "sram_bytes", "capacity_bytes", "auto_capacity",
-    "cleaning_policy", "power_loss_interval_sec",
+    "cleaning_policy", "ftl", "backend", "power_loss_interval_sec",
 };
 
 // Rows written for failed sweep points carry only metadata plus `_error`.

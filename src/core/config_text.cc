@@ -90,15 +90,19 @@ std::optional<DeviceSpec> DeviceByName(const std::string& name) {
 }
 
 std::optional<CleaningPolicy> CleaningPolicyByName(const std::string& name) {
-  const std::string v = Lower(Trim(name));
-  if (v == "greedy") {
-    return CleaningPolicy::kGreedy;
+  // One name table for the whole tree: delegate to the flash layer's strict
+  // parser (tolerates '_' and case, rejects everything else).
+  return CleaningPolicyFromName(name);
+}
+
+std::optional<FtlSelection> FtlSelectionByName(const std::string& name) {
+  // Cleaner names select the log-structured FTL with that cleaner, so
+  // `ftl=greedy,...,page-diff` sweeps cleaners and FTLs in one dimension.
+  if (const auto cleaner = CleaningPolicyFromName(name)) {
+    return FtlSelection{FtlPolicyKind::kLogStructured, cleaner};
   }
-  if (v == "cost-benefit") {
-    return CleaningPolicy::kCostBenefit;
-  }
-  if (v == "wear-aware") {
-    return CleaningPolicy::kWearAware;
+  if (const auto kind = FtlPolicyKindFromName(name)) {
+    return FtlSelection{*kind, std::nullopt};
   }
   return std::nullopt;
 }
@@ -181,6 +185,29 @@ bool ApplyConfigAssignment(SimConfig* config, const std::string& raw_key,
       return false;
     }
     config->cleaning_policy = *policy;
+    return true;
+  }
+  if (key == "ftl") {
+    const auto selection = FtlSelectionByName(value);
+    if (!selection) {
+      SetError(error,
+               "ftl must be log|page-diff|fat-remap or a cleaner name "
+               "(greedy|cost-benefit|wear-aware)");
+      return false;
+    }
+    config->ftl_policy = selection->kind;
+    if (selection->cleaner) {
+      config->cleaning_policy = *selection->cleaner;
+    }
+    return true;
+  }
+  if (key == "export_ftl") {
+    const auto v = ParseBool(value);
+    if (!v) {
+      SetError(error, "bad boolean '" + value + "' for " + key);
+      return false;
+    }
+    config->export_ftl_metrics = *v;
     return true;
   }
   if (key == "fault.seed") {
@@ -336,7 +363,12 @@ std::string DescribeConfig(const SimConfig& config) {
                 CleaningPolicyName(config.cleaning_policy),
                 config.write_back_cache ? " write-back" : "",
                 config.use_disk_geometry ? " geometry" : "");
-  return std::string(buf);
+  std::string out(buf);
+  if (config.ftl_policy != FtlPolicyKind::kLogStructured) {
+    out += " ftl=";
+    out += FtlPolicyKindName(config.ftl_policy);
+  }
+  return out;
 }
 
 }  // namespace mobisim

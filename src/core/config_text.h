@@ -12,6 +12,8 @@
 //   spin_down_policy     fixed | adaptive
 //   cleaning             background | on-demand
 //   cleaning_policy      greedy | cost-benefit | wear-aware
+//   ftl                  log | page-diff | fat-remap | a cleaner name
+//   export_ftl           bool (emit ftl columns even for the default policy)
 //   separate_cleaning    bool
 //   interleave_prefill   bool
 //   async_erasure        bool
@@ -61,6 +63,15 @@ std::optional<DeviceSpec> DeviceByName(const std::string& name);
 // Cleaning policy by name ("greedy", "cost-benefit", "wear-aware"); the
 // inverse of CleaningPolicyName.
 std::optional<CleaningPolicy> CleaningPolicyByName(const std::string& name);
+
+// One FTL grid-dimension value.  Cleaner names mean "the log-structured FTL
+// with that cleaner"; FTL names ("log", "page-diff", "fat-remap") select the
+// translation layer and leave the cleaner alone.
+struct FtlSelection {
+  FtlPolicyKind kind = FtlPolicyKind::kLogStructured;
+  std::optional<CleaningPolicy> cleaner;
+};
+std::optional<FtlSelection> FtlSelectionByName(const std::string& name);
 
 // One-line summary of a config, for logging.
 std::string DescribeConfig(const SimConfig& config);

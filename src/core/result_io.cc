@@ -383,6 +383,16 @@ ResultRow ResultToRow(const SimResult& result) {
   row.AddNumber("max_segment_erases", result.max_segment_erases);
   row.AddNumber("mean_segment_erases", result.mean_segment_erases);
 
+  // FTL counters are gated like the fault block below: only sweeps that name
+  // an FTL (or export explicitly) carry them, so pre-FTL output is unchanged.
+  if (result.ftl_enabled) {
+    row.AddInt("diff_writes", c.diff_writes);
+    row.AddInt("diff_merges", c.diff_merges);
+    row.AddInt("diff_merge_reads", c.diff_merge_reads);
+    row.AddInt("remap_table_hits", c.remap_table_hits);
+    row.AddInt("remap_table_wraps", c.remap_table_wraps);
+  }
+
   // Device operating modes differ per device kind (disk: read/write/idle/
   // sleep/spinup; flash: read/write/erase/...), so a column per mode would
   // give heterogeneous sweeps ragged schemas.  Pack them into one

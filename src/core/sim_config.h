@@ -8,6 +8,7 @@
 #include "src/device/device_spec.h"
 #include "src/device/geometric_disk.h"
 #include "src/fault/fault.h"
+#include "src/flash/ftl_policy.h"
 #include "src/flash/segment_manager.h"
 #include "src/util/sim_time.h"
 
@@ -54,6 +55,13 @@ struct SimConfig {
   // Flash-card cleaning.
   bool background_cleaning = true;
   CleaningPolicy cleaning_policy = CleaningPolicy::kGreedy;
+  // Flash translation policy.  The log-structured default is the paper's
+  // MFFS model; page-diff and fat-remap are FTL ablations.
+  FtlPolicyKind ftl_policy = FtlPolicyKind::kLogStructured;
+  // Emit the ftl/backend columns and FTL counters even for the default
+  // policy; rows from historical (pre-FTL) sweeps stay byte-identical while
+  // this is off and the policy is the default.
+  bool export_ftl_metrics = false;
   // eNVy-style hot/cold separation of cleaning copies (ablation; the MFFS
   // card mixes them).
   bool separate_cleaning_segment = false;

@@ -55,6 +55,10 @@ struct SimResult {
   std::vector<std::pair<std::string, double>> device_mode_seconds;
   std::string device_energy_breakdown;
 
+  // FTL policy columns and counters are exported only when ftl_enabled, so
+  // sweeps that never name an FTL keep their historical output schema.
+  bool ftl_enabled = false;
+
   // -- Fault injection and recovery (exported only when fault_enabled so
   // healthy runs keep their pre-fault output schema byte-identical) --------
   bool fault_enabled = false;

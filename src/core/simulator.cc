@@ -116,6 +116,9 @@ SimResult RunSimulation(const TraceView& trace, const SimConfig& config) {
   result.max_segment_erases = result.counters.segment_erase_stats.max();
   result.mean_segment_erases = result.counters.segment_erase_stats.mean();
 
+  result.ftl_enabled = config.export_ftl_metrics ||
+                       config.ftl_policy != FtlPolicyKind::kLogStructured;
+
   result.fault_enabled = config.fault.enabled() || config.fault.export_metrics;
   if (result.fault_enabled) {
     const FaultStats& fs = system.fault_stats();

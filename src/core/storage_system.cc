@@ -31,6 +31,7 @@ StorageSystem::StorageSystem(const SimConfig& config, std::uint64_t trace_blocks
   options.spin_down_policy = config.spin_down_policy;
   options.background_cleaning = config.background_cleaning;
   options.cleaning_policy = config.cleaning_policy;
+  options.ftl_policy = config.ftl_policy;
   options.separate_cleaning_segment = config.separate_cleaning_segment;
   options.fault = config.fault;
   fault_on_ = config.fault.enabled();

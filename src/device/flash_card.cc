@@ -7,6 +7,24 @@
 
 namespace mobisim {
 
+namespace {
+
+SegmentManagerConfig MakeSegmentConfig(const DeviceSpec& spec,
+                                       const DeviceOptions& options,
+                                       const FtlPolicy* policy) {
+  SegmentManagerConfig seg;
+  seg.capacity_bytes = options.capacity_bytes;
+  seg.segment_bytes = spec.erase_segment_bytes;
+  seg.block_bytes = options.block_bytes;
+  seg.separate_cleaning_segment =
+      policy->RouteCleaningSeparately(options.separate_cleaning_segment);
+  seg.cleaning_policy = options.cleaning_policy;
+  seg.policy = policy;
+  return seg;
+}
+
+}  // namespace
+
 FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
     : spec_(spec),
       options_(options),
@@ -15,15 +33,20 @@ FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
               {"erase", spec.erase_w},
               {"clean", spec.write_w},
               {"idle", spec.idle_w}}),
-      segments_(SegmentManagerConfig{options.capacity_bytes, spec.erase_segment_bytes,
-                                     options.block_bytes, /*logical_blocks=*/0,
-                                     options.separate_cleaning_segment}),
+      policy_(MakeFtlPolicy(options.ftl_policy, options.cleaning_policy)),
+      ftl_hooks_(policy_->kind() != FtlPolicyKind::kLogStructured),
+      segments_(MakeSegmentConfig(spec, options, policy_.get())),
       injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kFlashCard);
+  // Keep the card's own slack arithmetic consistent with the routing the
+  // policy chose for the manager.
+  options_.separate_cleaning_segment =
+      policy_->RouteCleaningSeparately(options.separate_cleaning_segment);
   const double copy_read_kbps =
       spec.internal_read_kbps > 0.0 ? spec.internal_read_kbps : spec.read_kbps;
   const double copy_write_kbps =
       spec.internal_write_kbps > 0.0 ? spec.internal_write_kbps : spec.write_kbps;
+  internal_read_kbps_ = copy_read_kbps;
   block_copy_us_ = TransferTimeUs(options.block_bytes, copy_read_kbps) +
                    TransferTimeUs(options.block_bytes, copy_write_kbps);
   erase_us_ = UsFromMs(spec.erase_ms_per_segment);
@@ -81,6 +104,12 @@ void FlashCard::Preload(std::uint64_t trace_blocks, double utilization, bool int
   MOBISIM_CHECK(target_live + slack_segments * segments_.blocks_per_segment() <=
                 segments_.usable_blocks());
   const std::uint64_t filler = target_live - trace_blocks;
+  if (ftl_hooks_) {
+    // Policies with metadata pages (diff pages, map pages) claim lbas from
+    // the never-accessed logical window above the preloaded region.
+    policy_->AttachMetaWindow(target_live, segments_.total_blocks() - target_live,
+                              options_.block_bytes);
+  }
 
   if (!interleave || filler == 0 || trace_blocks == 0) {
     segments_.Preload(0, trace_blocks);
@@ -126,7 +155,7 @@ bool FlashCard::CanAcceptHostBlock() const {
     return true;
   }
   return segments_.erased_segment_count() >= 1 && !job_.active &&
-         segments_.PickVictim(options_.cleaning_policy) == SegmentManager::kNoSegment;
+         segments_.PickVictim() == SegmentManager::kNoSegment;
 }
 
 bool FlashCard::MaybeStartCleanJob() {
@@ -138,7 +167,7 @@ bool FlashCard::MaybeStartCleanJob() {
   if (segments_.erased_segment_count() > 1) {
     return false;
   }
-  const std::uint32_t victim = segments_.PickVictim(options_.cleaning_policy);
+  const std::uint32_t victim = segments_.PickVictim();
   if (victim == SegmentManager::kNoSegment) {
     return false;
   }
@@ -222,7 +251,18 @@ SimTime FlashCard::ServiceRead(SimTime now, const BlockRecord& rec) {
       static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
   const double overhead_ms =
       rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.read_overhead_ms;
-  const SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.read_kbps);
+  SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.read_kbps);
+  if (ftl_hooks_) {
+    // Merge-on-read: fold any outstanding policy state (page diffs) into the
+    // returned block, charged at the internal read rate.
+    std::uint64_t extra = 0;
+    for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+      extra += policy_->ExtraReadBytes(rec.lba + i);
+    }
+    if (extra > 0) {
+      service += TransferTimeUs(extra, internal_read_kbps_);
+    }
+  }
   meter_.Accumulate(kModeRead, service);
   busy_until_ = start + service;
   accounted_until_ = std::max(accounted_until_, busy_until_);
@@ -236,23 +276,53 @@ SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   const SimTime start = std::max(now, busy_until_);
   SimTime stall = 0;
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
+  std::uint64_t programmed = bytes;
+  std::uint64_t merge_reads = 0;
 
-  for (std::uint32_t i = 0; i < rec.block_count; ++i) {
-    if (options_.background_cleaning) {
-      // Bursts can arrive with no idle time in between; the job must be
-      // *started* here (reserving relocation room) even though it only makes
-      // progress during idle periods or synchronous stalls.
-      MaybeStartCleanJob();
+  if (!ftl_hooks_) {
+    for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+      if (options_.background_cleaning) {
+        // Bursts can arrive with no idle time in between; the job must be
+        // *started* here (reserving relocation room) even though it only makes
+        // progress during idle periods or synchronous stalls.
+        MaybeStartCleanJob();
+      }
+      while (!CanAcceptHostBlock()) {
+        // No erased space for this block: the write waits for cleaning to
+        // yield an erased segment.  In on-demand mode this is where cleaning
+        // happens at all.
+        const bool job_ready = MaybeStartCleanJob();
+        MOBISIM_CHECK(job_ready && "flash card wedged: no free space and nothing cleanable");
+        stall += FinishCleanJobNow();
+      }
+      segments_.WriteBlock(rec.lba + i);
     }
-    while (!CanAcceptHostBlock()) {
-      // No erased space for this block: the write waits for cleaning to
-      // yield an erased segment.  In on-demand mode this is where cleaning
-      // happens at all.
-      const bool job_ready = MaybeStartCleanJob();
-      MOBISIM_CHECK(job_ready && "flash card wedged: no free space and nothing cleanable");
-      stall += FinishCleanJobNow();
+  } else {
+    // The policy decides what each host block physically does: which log
+    // appends happen (the block, a diff page, a map page — possibly none)
+    // and what transfer volumes to charge.
+    programmed = 0;
+    for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+      const std::uint64_t lba = rec.lba + i;
+      const HostWritePlan plan =
+          policy_->PlanHostWrite(lba, segments_.IsMapped(lba), options_.block_bytes);
+      programmed += plan.programmed_bytes;
+      merge_reads += plan.merge_read_bytes;
+      for (std::uint32_t k = 0; k < plan.append_count; ++k) {
+        if (options_.background_cleaning) {
+          MaybeStartCleanJob();
+        }
+        while (!CanAcceptHostBlock()) {
+          const bool job_ready = MaybeStartCleanJob();
+          MOBISIM_CHECK(job_ready &&
+                        "flash card wedged: no free space and nothing cleanable");
+          stall += FinishCleanJobNow();
+        }
+        segments_.WriteBlock(plan.appends[k]);
+      }
     }
-    segments_.WriteBlock(rec.lba + i);
   }
   if (!options_.background_cleaning) {
     // On-demand mode also replenishes the reserve synchronously once the
@@ -266,12 +336,17 @@ SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
     counters_.stall_time_us += stall;
   }
 
-  const std::uint64_t bytes =
-      static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
   const double overhead_ms =
       rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.write_overhead_ms;
-  const SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.write_kbps);
+  SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(programmed, spec_.write_kbps);
   meter_.Accumulate(kModeWrite, service);
+  if (merge_reads > 0) {
+    // Diff-chain merges read the base page and its diffs back internally
+    // before reprogramming.
+    const SimTime merge_us = TransferTimeUs(merge_reads, internal_read_kbps_);
+    meter_.Accumulate(kModeRead, merge_us);
+    service += merge_us;
+  }
   busy_until_ = start + stall + service;
   accounted_until_ = std::max(accounted_until_, busy_until_);
   last_file_ = rec.file_id;
@@ -348,6 +423,9 @@ SimTime FlashCard::PowerLoss(SimTime now) {
 void FlashCard::Trim(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   for (std::uint32_t i = 0; i < rec.block_count; ++i) {
+    if (ftl_hooks_) {
+      policy_->OnTrim(rec.lba + i);
+    }
     segments_.TrimBlock(rec.lba + i);
   }
 }
@@ -359,6 +437,12 @@ const DeviceCounters& FlashCard::counters() const {
   counters_.bad_segments = segments_.bad_segment_count();
   counters_.usable_blocks = segments_.usable_blocks();
   counters_.physical_blocks = segments_.total_blocks();
+  const FtlCounters& ftl = policy_->counters();
+  counters_.diff_writes = ftl.diff_writes;
+  counters_.diff_merges = ftl.diff_merges;
+  counters_.diff_merge_reads = ftl.diff_merge_reads;
+  counters_.remap_table_hits = ftl.remap_table_hits;
+  counters_.remap_table_wraps = ftl.remap_table_wraps;
   return counters_;
 }
 

@@ -14,10 +14,12 @@
 #ifndef MOBISIM_SRC_DEVICE_FLASH_CARD_H_
 #define MOBISIM_SRC_DEVICE_FLASH_CARD_H_
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/device/storage_device.h"
+#include "src/flash/ftl_policy.h"
 #include "src/flash/segment_manager.h"
 
 namespace mobisim {
@@ -47,6 +49,7 @@ class FlashCard : public StorageDevice {
   SimTime busy_until() const override { return busy_until_; }
 
   const SegmentManager& segments() const { return segments_; }
+  const FtlPolicy& ftl_policy() const { return *policy_; }
 
   // Usable-capacity timeline: one (time, usable fraction of physical
   // capacity) entry per capacity-losing event (factory bad blocks at time 0,
@@ -93,6 +96,13 @@ class FlashCard : public StorageDevice {
   DeviceOptions options_;
   EnergyMeter meter_;
   mutable DeviceCounters counters_;
+  // Declared before segments_: the manager scores victims through the
+  // policy, so the policy must be constructed first and outlive it.
+  std::unique_ptr<FtlPolicy> policy_;
+  // True for policies with placement/read hooks (page-diff, fat-remap).  The
+  // log-structured default skips every hook call so the hot path — and its
+  // floating-point arithmetic — is the pre-FtlPolicy code, byte for byte.
+  bool ftl_hooks_ = false;
   SegmentManager segments_;
   CleanJob job_;
   FaultInjector injector_;
@@ -100,6 +110,7 @@ class FlashCard : public StorageDevice {
   SimTime accounted_until_ = 0;
   SimTime busy_until_ = 0;
   std::uint32_t last_file_ = ~std::uint32_t{0};
+  double internal_read_kbps_ = 0.0;  // rate for policy merge reads
   SimTime block_copy_us_;   // read+write one block during cleaning
   SimTime erase_us_;        // fixed per-segment erase time
   SimTime mount_scan_us_;   // reboot pass: read one summary block per segment

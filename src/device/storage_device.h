@@ -14,6 +14,7 @@
 
 #include "src/device/device_spec.h"
 #include "src/fault/fault.h"
+#include "src/flash/ftl_policy.h"
 #include "src/flash/segment_manager.h"
 #include "src/trace/trace_record.h"
 #include "src/util/energy_meter.h"
@@ -43,6 +44,12 @@ struct DeviceCounters {
   std::uint64_t bad_segments = 0;      // erase blocks retired (factory bad + wear-out)
   std::uint64_t usable_blocks = 0;     // flash card: physical slots still usable
   std::uint64_t physical_blocks = 0;   // flash card: physical slots at full health
+  // FTL policy activity (all zero under the log-structured default).
+  std::uint64_t diff_writes = 0;       // page-diff: overwrites absorbed as diffs
+  std::uint64_t diff_merges = 0;       // page-diff: chains folded on overwrite
+  std::uint64_t diff_merge_reads = 0;  // page-diff: reads that folded a chain
+  std::uint64_t remap_table_hits = 0;  // fat-remap: table lookups served
+  std::uint64_t remap_table_wraps = 0; // fat-remap: table cursor wraparounds
   // Endurance summary (flash card): per-segment erase-count distribution.
   RunningStats segment_erase_stats;
 };
@@ -120,6 +127,9 @@ struct DeviceOptions {
   // Flash card victim selection (greedy lowest-utilization is what MFFS
   // uses; cost-benefit is the LFS/eNVy-style ablation).
   CleaningPolicy cleaning_policy = CleaningPolicy::kGreedy;
+  // Flash translation policy.  The log-structured default reproduces the
+  // paper's MFFS model; page-diff and fat-remap are the FTL ablations.
+  FtlPolicyKind ftl_policy = FtlPolicyKind::kLogStructured;
   // Route cleaning copies into their own segment (eNVy-style hot/cold
   // separation) instead of mixing them with fresh writes.
   bool separate_cleaning_segment = false;

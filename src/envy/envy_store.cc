@@ -14,6 +14,7 @@ SegmentManagerConfig MakeSegmentConfig(const EnvyConfig& config) {
   seg.segment_bytes = config.flash.erase_segment_bytes;
   seg.block_bytes = config.page_bytes;
   seg.separate_cleaning_segment = config.separate_cleaning_segment;
+  seg.cleaning_policy = config.policy;
   return seg;
 }
 
@@ -69,7 +70,7 @@ void EnvyStore::EnsureSpace(std::uint64_t pages) {
   const std::uint64_t needed_segments =
       2 + pages / segments_.blocks_per_segment() + 1;
   while (segments_.erased_segment_count() < needed_segments) {
-    const std::uint32_t victim = segments_.PickVictim(config_.policy);
+    const std::uint32_t victim = segments_.PickVictim();
     MOBISIM_CHECK(victim != SegmentManager::kNoSegment && "eNVy store wedged (full)");
     MOBISIM_CHECK(segments_.free_slots() >= segments_.VictimLiveBlocks(victim));
     const std::uint32_t copied = segments_.CleanSegment(victim);

@@ -2,21 +2,13 @@
 
 #include <algorithm>
 
+#include "src/flash/ftl_policy.h"
 #include "src/util/check.h"
 
 namespace mobisim {
 
-const char* CleaningPolicyName(CleaningPolicy policy) {
-  switch (policy) {
-    case CleaningPolicy::kGreedy:
-      return "greedy";
-    case CleaningPolicy::kCostBenefit:
-      return "cost-benefit";
-    case CleaningPolicy::kWearAware:
-      return "wear-aware";
-  }
-  return "unknown";
-}
+// CleaningPolicyName lives in ftl_policy.cc, next to its strict inverse, so
+// there is exactly one policy-name table.
 
 SegmentManager::SegmentManager(const SegmentManagerConfig& config) : config_(config) {
   MOBISIM_CHECK(config.block_bytes > 0);
@@ -36,7 +28,15 @@ SegmentManager::SegmentManager(const SegmentManagerConfig& config) : config_(con
   block_segment_.assign(logical, kNoSegment);
   free_slots_ = total_blocks();
   erased_segments_ = segment_count;
+  if (config.policy != nullptr) {
+    policy_ = config.policy;
+  } else {
+    owned_policy_ = std::make_unique<LogStructuredFtl>(config.cleaning_policy);
+    policy_ = owned_policy_.get();
+  }
 }
+
+SegmentManager::~SegmentManager() = default;
 
 std::uint64_t SegmentManager::total_blocks() const {
   return static_cast<std::uint64_t>(segments_.size()) * blocks_per_segment_;
@@ -156,14 +156,16 @@ std::uint32_t SegmentManager::BlockSegment(std::uint64_t lba) const {
   return block_segment_[lba];
 }
 
-std::uint32_t SegmentManager::PickVictim(CleaningPolicy policy) const {
-  if (victim_epoch_ == mutation_epoch_ && victim_policy_ == policy) {
+std::uint32_t SegmentManager::PickVictim() const {
+  if (victim_epoch_ == mutation_epoch_) {
     return victim_cache_;
   }
-  std::uint32_t max_erases = 0;
-  if (policy == CleaningPolicy::kWearAware) {
+  VictimView view;
+  view.blocks_per_segment = blocks_per_segment_;
+  view.fill_sequence = fill_sequence_;
+  if (policy_->NeedsMaxEraseCount()) {
     for (const Segment& seg : segments_) {
-      max_erases = std::max(max_erases, seg.erase_count);
+      view.max_erase_count = std::max(view.max_erase_count, seg.erase_count);
     }
   }
 
@@ -175,36 +177,18 @@ std::uint32_t SegmentManager::PickVictim(CleaningPolicy policy) const {
         seg.live == blocks_per_segment_) {
       continue;  // only full segments with at least one invalid slot qualify
     }
-    double score = 0.0;
-    switch (policy) {
-      case CleaningPolicy::kGreedy:
-        score = static_cast<double>(blocks_per_segment_ - seg.live);
-        break;
-      case CleaningPolicy::kCostBenefit: {
-        const double u =
-            static_cast<double>(seg.live) / static_cast<double>(blocks_per_segment_);
-        const double age = static_cast<double>(fill_sequence_ - seg.sequence) + 1.0;
-        score = (1.0 - u) * age / (1.0 + u);
-        break;
-      }
-      case CleaningPolicy::kWearAware: {
-        // Greedy, plus a bonus for under-erased segments so cold data gets
-        // rotated off low-wear areas.
-        const double invalid = static_cast<double>(blocks_per_segment_ - seg.live);
-        const double deficit =
-            static_cast<double>(max_erases - seg.erase_count) /
-            static_cast<double>(std::max<std::uint32_t>(max_erases, 1));
-        score = invalid + 0.3 * deficit * static_cast<double>(blocks_per_segment_);
-        break;
-      }
-    }
+    VictimCandidate candidate;
+    candidate.index = i;
+    candidate.live = seg.live;
+    candidate.erase_count = seg.erase_count;
+    candidate.sequence = seg.sequence;
+    const double score = policy_->ScoreVictim(candidate, view);
     if (score > best_score) {
       best_score = score;
       best = i;
     }
   }
   victim_epoch_ = mutation_epoch_;
-  victim_policy_ = policy;
   victim_cache_ = best;
   return best;
 }

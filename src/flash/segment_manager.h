@@ -13,11 +13,14 @@
 #define MOBISIM_SRC_FLASH_SEGMENT_MANAGER_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/util/stats.h"
 
 namespace mobisim {
+
+class FtlPolicy;
 
 enum class CleaningPolicy : std::uint8_t {
   // Pick the segment with the fewest live blocks (the MFFS policy, section 2).
@@ -51,6 +54,15 @@ struct SegmentManagerConfig {
   // bad) and its capacity is lost.  0 disables wear-out (the default: the
   // paper tracks erase counts but does not model failures).
   std::uint32_t endurance_limit = 0;
+  // Victim-selection policy, fixed at construction so the PickVictim epoch
+  // cache can never be invalidated by a caller switching policies mid-run.
+  // Used when `policy` is null (the manager then owns a private
+  // LogStructuredFtl for this cleaner).
+  CleaningPolicy cleaning_policy = CleaningPolicy::kGreedy;
+  // Externally owned FtlPolicy to score victims with; must outlive the
+  // manager.  FlashCard injects its own policy here so victim selection and
+  // placement hooks come from one object.
+  const FtlPolicy* policy = nullptr;
 };
 
 class SegmentManager {
@@ -58,6 +70,8 @@ class SegmentManager {
   static constexpr std::uint32_t kNoSegment = ~std::uint32_t{0};
 
   explicit SegmentManager(const SegmentManagerConfig& config);
+  // Out of line: the owned policy's deleter needs the complete FtlPolicy.
+  ~SegmentManager();
 
   // Marks `count` logical blocks starting at `lba` live, placing them in
   // append order (used to preload the card to a target utilization).
@@ -78,9 +92,9 @@ class SegmentManager {
   std::uint32_t BlockSegment(std::uint64_t lba) const;
 
   // Chooses a cleaning victim among full segments that contain at least one
-  // invalid slot; kNoSegment if none qualifies.  `age_hint` orders segments
-  // for cost-benefit (larger = older); greedy ignores it.
-  std::uint32_t PickVictim(CleaningPolicy policy) const;
+  // invalid slot; kNoSegment if none qualifies.  Scoring delegates to the
+  // policy fixed at construction time.
+  std::uint32_t PickVictim() const;
 
   // Number of live blocks cleaning this victim would copy.
   std::uint32_t VictimLiveBlocks(std::uint32_t segment) const;
@@ -152,6 +166,10 @@ class SegmentManager {
   void InvalidateBlock(std::uint64_t lba);
 
   SegmentManagerConfig config_;
+  // Private log-structured policy backing config_.cleaning_policy when no
+  // external policy was injected.
+  std::unique_ptr<const FtlPolicy> owned_policy_;
+  const FtlPolicy* policy_ = nullptr;
   std::uint32_t blocks_per_segment_;
   std::vector<Segment> segments_;
   // lba -> segment index, or kNoSegment.
@@ -170,10 +188,10 @@ class SegmentManager {
   // after nearly every record while the erased reserve is low.  Every input
   // to the scoring (live counts, fill order, erase counts, the active
   // segment) changes only through the mutating methods, which bump
-  // mutation_epoch_; the last answer is cached and reused until then.
+  // mutation_epoch_; the last answer is cached and reused until then.  The
+  // policy is fixed at construction, so the epoch alone keys the cache.
   std::uint64_t mutation_epoch_ = 0;
   mutable std::uint64_t victim_epoch_ = ~std::uint64_t{0};
-  mutable CleaningPolicy victim_policy_ = CleaningPolicy::kGreedy;
   mutable std::uint32_t victim_cache_ = kNoSegment;
 };
 

@@ -33,6 +33,7 @@ void LfsFfsTestbedDevice::Format() {
   seg.block_bytes = config_.block_bytes;
   seg.logical_blocks = 8ull * (config_.capacity_bytes / config_.block_bytes);
   seg.separate_cleaning_segment = config_.separate_cleaning_segment;
+  seg.cleaning_policy = config_.policy;
   segments_ = std::make_unique<SegmentManager>(seg);
   files_.clear();
   next_lba_ = 0;
@@ -69,7 +70,7 @@ double LfsFfsTestbedDevice::LogBlocks(const FileState& file, std::uint64_t start
     // Keep erased segments for the log head, the cleaning destination, and
     // one in reserve (cleaning copies may open a fresh segment mid-clean).
     while (segments_->erased_segment_count() < 3) {
-      const std::uint32_t victim = segments_->PickVictim(config_.policy);
+      const std::uint32_t victim = segments_->PickVictim();
       MOBISIM_CHECK(victim != SegmentManager::kNoSegment && "LFS-FFS card is wedged (full)");
       const std::uint32_t copied = segments_->CleanSegment(victim);
       cleaning_copies_ += copied;
@@ -129,7 +130,7 @@ void LfsFfsTestbedDevice::DeleteFile(std::uint32_t file_id) {
 
 void LfsFfsTestbedDevice::IdleCleanup() {
   while (true) {
-    const std::uint32_t victim = segments_->PickVictim(config_.policy);
+    const std::uint32_t victim = segments_->PickVictim();
     if (victim == SegmentManager::kNoSegment ||
         segments_->free_slots() < segments_->VictimLiveBlocks(victim)) {
       return;

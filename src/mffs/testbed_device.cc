@@ -132,7 +132,7 @@ double MffsTestbedDevice::WritePhysicalBlocks(FileState& file, std::uint64_t blo
     // Keep one segment's worth of erased blocks in hand: cleaning a victim
     // requires room to relocate its live blocks.
     while (segments_->free_slots() <= segments_->blocks_per_segment()) {
-      const std::uint32_t victim = segments_->PickVictim(CleaningPolicy::kGreedy);
+      const std::uint32_t victim = segments_->PickVictim();
       MOBISIM_CHECK(victim != SegmentManager::kNoSegment && "MFFS card is wedged (full)");
       const std::uint32_t copied = segments_->CleanSegment(victim);
       cleaning_copies_ += copied;
@@ -220,7 +220,7 @@ double MffsTestbedDevice::ReadChunkMs(std::uint32_t file_id, std::uint64_t offse
 
 void MffsTestbedDevice::IdleCleanup() {
   while (true) {
-    const std::uint32_t victim = segments_->PickVictim(CleaningPolicy::kGreedy);
+    const std::uint32_t victim = segments_->PickVictim();
     if (victim == SegmentManager::kNoSegment ||
         segments_->free_slots() < segments_->VictimLiveBlocks(victim)) {
       return;

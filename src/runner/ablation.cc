@@ -1,0 +1,140 @@
+#include "src/runner/ablation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace mobisim {
+
+namespace {
+
+// Metrics worth comparing across policies, with display precision.  Kept
+// small on purpose: the matrix is a summary; the JSONL rows carry everything.
+struct MatrixMetric {
+  const char* key;
+  const char* title;
+  int decimals;
+};
+
+constexpr MatrixMetric kMetrics[] = {
+    {"total_energy_j", "Total energy (J)", 2},
+    {"write_ms_mean", "Mean write response (ms)", 2},
+    {"read_ms_mean", "Mean read response (ms)", 2},
+    {"segment_erases", "Segment erases", 0},
+    {"blocks_copied", "Cleaning copies (blocks)", 0},
+};
+
+struct CellStats {
+  double sum = 0.0;
+  std::size_t count = 0;   // clean rows folded in
+  std::size_t errors = 0;  // `_error` rows seen
+};
+
+std::string PolicyLabel(const ResultRow& row) {
+  // The ftl column already says "log" for plain cleaner sweeps, so lead with
+  // the cleaner (the axis people actually varied) and qualify with the FTL
+  // when it is not the log-structured default.
+  const std::string ftl = row.Text("ftl", "log");
+  const std::string cleaner = row.Text("cleaning_policy", "?");
+  std::string label = ftl == "log" ? cleaner : ftl;
+  const std::string backend = row.Text("backend", "average-cost");
+  if (backend != "average-cost") {
+    label += "/" + backend;
+  }
+  return label;
+}
+
+std::string CellLabel(const ResultRow& row) {
+  char util[32];
+  std::snprintf(util, sizeof(util), "%.0f%%", row.Number("utilization", 0.0) * 100.0);
+  return row.Text("workload", "?") + " / " + row.Text("device", "?") + " / " + util;
+}
+
+std::string FormatValue(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string RenderAblationMatrix(const std::vector<ResultRow>& rows) {
+  // First-appearance orders keep the rendering deterministic and identical
+  // between a serial run and a merged shard set (both are in point order).
+  std::vector<std::string> policies;
+  std::vector<std::string> cells;
+  // (cell, policy, metric) -> stats
+  std::map<std::string, std::map<std::string, std::vector<CellStats>>> table;
+  constexpr std::size_t kMetricCount = sizeof(kMetrics) / sizeof(kMetrics[0]);
+
+  for (const ResultRow& row : rows) {
+    if (IsMetaRow(row)) {
+      continue;
+    }
+    const std::string policy = PolicyLabel(row);
+    const std::string cell = CellLabel(row);
+    if (std::find(policies.begin(), policies.end(), policy) == policies.end()) {
+      policies.push_back(policy);
+    }
+    if (std::find(cells.begin(), cells.end(), cell) == cells.end()) {
+      cells.push_back(cell);
+    }
+    std::vector<CellStats>& stats = table[cell][policy];
+    stats.resize(kMetricCount);
+    const bool is_error = row.Find("_error") != nullptr;
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      if (is_error) {
+        ++stats[m].errors;
+      } else {
+        stats[m].sum += row.Number(kMetrics[m].key, 0.0);
+        ++stats[m].count;
+      }
+    }
+  }
+
+  std::string out = "# Ablation matrix\n";
+  if (policies.empty()) {
+    out += "\n(no data rows)\n";
+    return out;
+  }
+  out += "\nColumns are policy tuples (cleaner, or ftl[/backend]); values are"
+         " means across\nreplicas and seeds.  ERR marks cells whose every run"
+         " failed.\n";
+
+  for (std::size_t m = 0; m < kMetricCount; ++m) {
+    out += "\n## " + std::string(kMetrics[m].title) + "\n\n";
+    out += "| cell |";
+    for (const std::string& policy : policies) {
+      out += " " + policy + " |";
+    }
+    out += "\n|---|";
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      out += "---|";
+    }
+    out += "\n";
+    for (const std::string& cell : cells) {
+      out += "| " + cell + " |";
+      for (const std::string& policy : policies) {
+        const auto cell_it = table.find(cell);
+        const auto policy_it = cell_it->second.find(policy);
+        if (policy_it == cell_it->second.end()) {
+          out += "  |";  // grid never produced this combination
+          continue;
+        }
+        const CellStats& stats = policy_it->second[m];
+        if (stats.count == 0) {
+          out += stats.errors > 0 ? " ERR |" : "  |";
+        } else {
+          out += " " +
+                 FormatValue(stats.sum / static_cast<double>(stats.count),
+                             kMetrics[m].decimals) +
+                 " |";
+        }
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace mobisim

@@ -1,0 +1,28 @@
+// Ablation-matrix rendering: fold one sweep's rows into side-by-side
+// markdown tables, one per metric, with a column per policy tuple
+// (ftl / cleaning policy / backend) and a row per experiment cell
+// (workload x device x utilization).  This is the human-readable face of a
+// `backends= x ftl=` cross sweep: the JSONL rows remain the machine record
+// (stored and diffed in bench_db); the matrix file is what a person reads to
+// compare policies at a glance.
+#ifndef MOBISIM_SRC_RUNNER_ABLATION_H_
+#define MOBISIM_SRC_RUNNER_ABLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/result_io.h"
+
+namespace mobisim {
+
+// Renders the matrix from sweep rows (metadata rows are skipped).  Values
+// are means across replicas/seeds of the same cell; cells whose every row is
+// an `_error` row render as ERR; cells the grid never produced stay blank.
+// Deterministic: column order follows first appearance of each policy tuple
+// in the rows (i.e. enumeration order), row order first appearance of each
+// cell, so serial and merged-shard runs render identically.
+std::string RenderAblationMatrix(const std::vector<ResultRow>& rows);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_RUNNER_ABLATION_H_

@@ -88,9 +88,10 @@ std::uint64_t ReplicaSeed(std::uint64_t seed, std::size_t replica) {
 
 std::size_t GridSize(const ExperimentSpec& spec) {
   return DimSize(spec.devices) * DimSize(spec.workloads) * DimSize(spec.utilizations) *
-         DimSize(spec.dram_sizes) * DimSize(spec.sram_sizes) *
-         DimSize(spec.cleaning_policies) * DimSize(spec.power_loss_intervals) *
-         DimSize(spec.seeds) * (spec.replicas == 0 ? 1 : spec.replicas);
+         DimSize(spec.dram_sizes) * DimSize(spec.sram_sizes) * DimSize(spec.backends) *
+         DimSize(spec.ftl_policies) * DimSize(spec.cleaning_policies) *
+         DimSize(spec.power_loss_intervals) * DimSize(spec.seeds) *
+         (spec.replicas == 0 ? 1 : spec.replicas);
 }
 
 std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
@@ -108,6 +109,15 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
   const std::vector<std::uint64_t> sram_sizes =
       spec.sram_sizes.empty() ? std::vector<std::uint64_t>{spec.base.sram_bytes}
                               : spec.sram_sizes;
+  const std::vector<std::string> backends =
+      spec.backends.empty()
+          ? std::vector<std::string>{spec.base.use_disk_geometry ? "geometry"
+                                                                 : "average-cost"}
+          : spec.backends;
+  const std::vector<FtlSelection> ftl_policies =
+      spec.ftl_policies.empty()
+          ? std::vector<FtlSelection>{FtlSelection{spec.base.ftl_policy, std::nullopt}}
+          : spec.ftl_policies;
   const std::vector<CleaningPolicy> policies =
       spec.cleaning_policies.empty()
           ? std::vector<CleaningPolicy>{spec.base.cleaning_policy}
@@ -123,6 +133,11 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
   // point, so a sweep's rows all share one column schema.
   const bool export_fault =
       !spec.power_loss_intervals.empty() || spec.base.fault.enabled();
+  // Same rule for the FTL/backend schema block.
+  const bool export_ftl =
+      !spec.ftl_policies.empty() || !spec.backends.empty() ||
+      spec.base.ftl_policy != FtlPolicyKind::kLogStructured ||
+      spec.base.export_ftl_metrics;
 
   std::vector<ExperimentPoint> points;
   points.reserve(GridSize(spec));
@@ -131,27 +146,43 @@ std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec) {
       for (const double utilization : utilizations) {
         for (const std::uint64_t dram : dram_sizes) {
           for (const std::uint64_t sram : sram_sizes) {
-            for (const CleaningPolicy policy : policies) {
-              for (const double power_loss_sec : power_loss_intervals) {
-                for (const std::uint64_t seed : seeds) {
-                  for (std::size_t replica = 0; replica < replicas; ++replica) {
-                    ExperimentPoint point;
-                    point.index = points.size();
-                    point.workload = workload;
-                    point.scale = spec.scale;
-                    point.seed = ReplicaSeed(seed, replica);
-                    point.replica = replica;
-                    point.config = spec.base;
-                    point.config.device = device;
-                    point.config.flash_utilization = utilization;
-                    point.config.dram_bytes = dram;
-                    point.config.sram_bytes = sram;
-                    point.config.cleaning_policy = policy;
-                    point.config.fault.power_loss_interval_us = UsFromSec(power_loss_sec);
-                    if (export_fault) {
-                      point.config.fault.export_metrics = true;
+            for (const std::string& backend : backends) {
+              for (const FtlSelection& ftl : ftl_policies) {
+                for (const CleaningPolicy policy : policies) {
+                  for (const double power_loss_sec : power_loss_intervals) {
+                    for (const std::uint64_t seed : seeds) {
+                      for (std::size_t replica = 0; replica < replicas; ++replica) {
+                        ExperimentPoint point;
+                        point.index = points.size();
+                        point.workload = workload;
+                        point.scale = spec.scale;
+                        point.seed = ReplicaSeed(seed, replica);
+                        point.replica = replica;
+                        point.config = spec.base;
+                        point.config.device = device;
+                        point.config.flash_utilization = utilization;
+                        point.config.dram_bytes = dram;
+                        point.config.sram_bytes = sram;
+                        point.config.use_disk_geometry = backend == "geometry";
+                        // Cleaning dimension first; an ftl value that names a
+                        // cleaner overrides it (the two dimensions share the
+                        // cleaner axis on purpose).
+                        point.config.cleaning_policy = policy;
+                        point.config.ftl_policy = ftl.kind;
+                        if (ftl.cleaner) {
+                          point.config.cleaning_policy = *ftl.cleaner;
+                        }
+                        if (export_ftl) {
+                          point.config.export_ftl_metrics = true;
+                        }
+                        point.config.fault.power_loss_interval_us =
+                            UsFromSec(power_loss_sec);
+                        if (export_fault) {
+                          point.config.fault.export_metrics = true;
+                        }
+                        points.push_back(std::move(point));
+                      }
                     }
-                    points.push_back(std::move(point));
                   }
                 }
               }
@@ -242,6 +273,36 @@ bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
       sizes.push_back(*size);
     }
     (key == "dram_sizes" ? spec->dram_sizes : spec->sram_sizes) = std::move(sizes);
+    return true;
+  }
+  if (key == "backends") {
+    spec->backends.clear();
+    for (const std::string& item : SplitList(value)) {
+      std::string v = item;
+      std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return c == '_' ? '-' : static_cast<char>(std::tolower(c));
+      });
+      if (v != "average-cost" && v != "geometry") {
+        SetError(error, "bad backend '" + item + "' (want average-cost|geometry)");
+        return false;
+      }
+      spec->backends.push_back(v);
+    }
+    return true;
+  }
+  if (key == "ftl") {
+    // The spec-level `ftl` is always the sweep dimension, even with a single
+    // value, so one key spells the whole FTL axis of an ablation matrix.
+    spec->ftl_policies.clear();
+    for (const std::string& item : SplitList(value)) {
+      const auto selection = FtlSelectionByName(item);
+      if (!selection) {
+        SetError(error, "bad ftl '" + item +
+                            "' (want log|page-diff|fat-remap or a cleaner name)");
+        return false;
+      }
+      spec->ftl_policies.push_back(*selection);
+    }
     return true;
   }
   if (key == "cleaning_policies") {
@@ -342,6 +403,12 @@ std::string DescribeSpec(const ExperimentSpec& spec) {
       << DimSize(spec.dram_sizes) << " dram x " << DimSize(spec.sram_sizes)
       << " sram x " << DimSize(spec.cleaning_policies) << " policies x "
       << DimSize(spec.seeds) << " seeds";
+  if (!spec.backends.empty()) {
+    out << " x " << spec.backends.size() << " backends";
+  }
+  if (!spec.ftl_policies.empty()) {
+    out << " x " << spec.ftl_policies.size() << " ftl";
+  }
   if (!spec.power_loss_intervals.empty()) {
     out << " x " << spec.power_loss_intervals.size() << " power-loss intervals";
   }
@@ -467,6 +534,24 @@ std::string CanonicalSpecText(const ExperimentSpec& spec) {
         << "\n"
         << "base.fault.max_retries = " << c.fault.max_retries << "\n"
         << "base.fault.retry_backoff_us = " << c.fault.retry_backoff_us << "\n";
+  }
+  // FTL/backend block only when the spec uses those dimensions (or a
+  // non-default base FTL), preserving pre-FTL spec fingerprints.
+  if (!spec.ftl_policies.empty() || !spec.backends.empty() ||
+      c.ftl_policy != FtlPolicyKind::kLogStructured || c.export_ftl_metrics) {
+    out << "backends =";
+    for (const std::string& b : spec.backends) {
+      out << " " << b;
+    }
+    out << "\n";
+    out << "ftl =";
+    for (const FtlSelection& f : spec.ftl_policies) {
+      out << " " << (f.cleaner ? CleaningPolicyName(*f.cleaner)
+                               : FtlPolicyKindName(f.kind));
+    }
+    out << "\n";
+    out << "base.ftl_policy = " << FtlPolicyKindName(c.ftl_policy) << "\n"
+        << "base.export_ftl_metrics = " << (c.export_ftl_metrics ? 1 : 0) << "\n";
   }
   return out.str();
 }

@@ -11,6 +11,9 @@
 //   utilizations       flash live fractions (0..1)
 //   dram_sizes         DRAM buffer-cache sizes (k/m/g suffixes)
 //   sram_sizes         SRAM write-buffer sizes
+//   backends           average-cost | geometry (simulator backend variants)
+//   ftl                log | page-diff | fat-remap | cleaner names (one
+//                      dimension spanning FTLs and log cleaners)
 //   cleaning_policies  greedy | cost-benefit | wear-aware
 //   power_loss_intervals  mean seconds between power losses (0 = none)
 //   seeds              workload generator seeds (integers)
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/config_text.h"
 #include "src/core/sim_config.h"
 
 namespace mobisim {
@@ -42,6 +46,13 @@ struct ExperimentSpec {
   std::vector<double> utilizations;
   std::vector<std::uint64_t> dram_sizes;
   std::vector<std::uint64_t> sram_sizes;
+  // Simulator backend variants ("average-cost" | "geometry"); see the
+  // `backends` key.  Empty keeps base.use_disk_geometry.
+  std::vector<std::string> backends;
+  // FTL policy dimension (`ftl` key): cleaner names sweep the log-structured
+  // cleaners, FTL names swap the translation layer.  Any use of this
+  // dimension turns on FTL metric export for the whole sweep.
+  std::vector<FtlSelection> ftl_policies;
   std::vector<CleaningPolicy> cleaning_policies;
   std::vector<double> power_loss_intervals;
   std::vector<std::uint64_t> seeds;
@@ -70,10 +81,11 @@ std::uint64_t ReplicaSeed(std::uint64_t seed, std::size_t replica);
 std::size_t GridSize(const ExperimentSpec& spec);
 
 // Expands the cross product.  Enumeration order nests, outermost first:
-// device, workload, utilization, dram, sram, cleaning policy, power-loss
-// interval, seed — i.e. the seed varies fastest.  When any fault dimension
-// or base fault knob is active, every enumerated config exports fault
-// metrics so all rows in a sweep share one schema.
+// device, workload, utilization, dram, sram, backend, ftl, cleaning policy,
+// power-loss interval, seed — i.e. the seed varies fastest.  When any fault
+// dimension or base fault knob is active, every enumerated config exports
+// fault metrics so all rows in a sweep share one schema; likewise any use of
+// the backend/ftl dimensions turns on FTL metric export everywhere.
 std::vector<ExperimentPoint> EnumerateGrid(const ExperimentSpec& spec);
 
 // Keeps only the points of shard `shard` out of `shards` (index % shards ==

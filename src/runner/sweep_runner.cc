@@ -94,6 +94,13 @@ ResultRow PointToRow(const ExperimentPoint& point) {
   row.AddInt("capacity_bytes", point.config.capacity_bytes);
   row.AddInt("auto_capacity", point.config.auto_capacity ? 1 : 0);
   row.AddText("cleaning_policy", CleaningPolicyName(point.config.cleaning_policy));
+  // FTL/backend columns join the metadata only when the FTL layer is in play
+  // (swept or explicitly exported) so historical sweeps keep their schema.
+  if (point.config.export_ftl_metrics ||
+      point.config.ftl_policy != FtlPolicyKind::kLogStructured) {
+    row.AddText("ftl", FtlPolicyKindName(point.config.ftl_policy));
+    row.AddText("backend", point.config.use_disk_geometry ? "geometry" : "average-cost");
+  }
   // Fault dimensions join the metadata only on fault runs so fault-free
   // sweeps keep their historical schema byte-for-byte.
   if (point.config.fault.enabled() || point.config.fault.export_metrics) {

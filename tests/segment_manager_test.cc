@@ -81,10 +81,10 @@ TEST(SegmentManagerTest, VictimNeedsInvalidBlock) {
   for (std::uint64_t lba = 0; lba < 4; ++lba) {
     m.WriteBlock(lba);
   }
-  EXPECT_EQ(m.PickVictim(CleaningPolicy::kGreedy), SegmentManager::kNoSegment);
+  EXPECT_EQ(m.PickVictim(), SegmentManager::kNoSegment);
   // Invalidate one block: now it qualifies.
   m.WriteBlock(0);  // new copy elsewhere; old slot invalid
-  const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+  const std::uint32_t victim = m.PickVictim();
   ASSERT_NE(victim, SegmentManager::kNoSegment);
   EXPECT_EQ(m.VictimLiveBlocks(victim), 3u);
 }
@@ -106,7 +106,7 @@ TEST(SegmentManagerTest, GreedyPicksLowestUtilization) {
   m.WriteBlock(1);
   m.WriteBlock(2);
   m.WriteBlock(4);
-  const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+  const std::uint32_t victim = m.PickVictim();
   ASSERT_NE(victim, SegmentManager::kNoSegment);
   EXPECT_EQ(m.VictimLiveBlocks(victim), 1u);  // segment A retains only lba 3
 }
@@ -118,7 +118,7 @@ TEST(SegmentManagerTest, CleanSegmentRelocatesLiveData) {
   }
   m.WriteBlock(0);
   m.WriteBlock(1);
-  const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+  const std::uint32_t victim = m.PickVictim();
   ASSERT_NE(victim, SegmentManager::kNoSegment);
   const std::uint64_t free_before = m.free_slots();
   const std::uint32_t copied = m.CleanSegment(victim);
@@ -134,25 +134,33 @@ TEST(SegmentManagerTest, CleanSegmentRelocatesLiveData) {
 }
 
 TEST(SegmentManagerTest, CostBenefitPrefersOlderSegments) {
+  // The policy is fixed at construction, so run the same traffic through a
+  // greedy manager and a cost-benefit manager and compare their victims.
+  auto drive = [](SegmentManager& m) {
+    // Two segments with identical utilization but different ages.
+    for (std::uint64_t lba = 0; lba < 4; ++lba) {
+      m.WriteBlock(lba);  // segment filled first (older)
+    }
+    for (std::uint64_t lba = 4; lba < 8; ++lba) {
+      m.WriteBlock(lba);
+    }
+    m.WriteBlock(0);  // invalidate one in the old segment
+    m.WriteBlock(4);  // and one in the newer segment
+  };
   SegmentManagerConfig config = SmallConfig();
   config.capacity_bytes = 32 * 1024;  // 8 segments
-  SegmentManager m(config);
-  // Two segments with identical utilization but different ages.
-  for (std::uint64_t lba = 0; lba < 4; ++lba) {
-    m.WriteBlock(lba);  // segment filled first (older)
-  }
-  for (std::uint64_t lba = 4; lba < 8; ++lba) {
-    m.WriteBlock(lba);
-  }
-  m.WriteBlock(0);  // invalidate one in the old segment
-  m.WriteBlock(4);  // and one in the newer segment
-  const std::uint32_t greedy = m.PickVictim(CleaningPolicy::kGreedy);
-  const std::uint32_t cb = m.PickVictim(CleaningPolicy::kCostBenefit);
+  SegmentManager greedy_m(config);
+  config.cleaning_policy = CleaningPolicy::kCostBenefit;
+  SegmentManager cb_m(config);
+  drive(greedy_m);
+  drive(cb_m);
+  const std::uint32_t greedy = greedy_m.PickVictim();
+  const std::uint32_t cb = cb_m.PickVictim();
   ASSERT_NE(cb, SegmentManager::kNoSegment);
   // Cost-benefit must pick the older of the two equal-utilization segments;
   // greedy ties arbitrarily (first found) -- both must be valid victims.
-  EXPECT_EQ(m.VictimLiveBlocks(cb), 3u);
-  EXPECT_EQ(m.VictimLiveBlocks(greedy), 3u);
+  EXPECT_EQ(cb_m.VictimLiveBlocks(cb), 3u);
+  EXPECT_EQ(greedy_m.VictimLiveBlocks(greedy), 3u);
   EXPECT_EQ(cb, 0u);  // segment 0 filled first
 }
 
@@ -183,7 +191,7 @@ TEST(SegmentManagerTest, EraseCountStatsTrackWear) {
     for (std::uint64_t lba = 0; lba < 4; ++lba) {
       m.WriteBlock(lba);
     }
-    const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+    const std::uint32_t victim = m.PickVictim();
     if (victim != SegmentManager::kNoSegment &&
         m.free_slots() >= m.VictimLiveBlocks(victim)) {
       m.CleanSegment(victim);
@@ -208,7 +216,7 @@ TEST(SegmentManagerTest, EnduranceLimitRetiresSegments) {
       }
       m.WriteBlock(lba);
     }
-    const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+    const std::uint32_t victim = m.PickVictim();
     if (victim != SegmentManager::kNoSegment &&
         m.free_slots() >= m.VictimLiveBlocks(victim)) {
       m.CleanSegment(victim);
@@ -230,7 +238,7 @@ TEST(SegmentManagerTest, BadSegmentsNeverReused) {
   // good segments and invariants must hold throughout.
   for (int i = 0; i < 200 && m.bad_segment_count() < 5; ++i) {
     if (m.free_slots() <= m.blocks_per_segment()) {
-      const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+      const std::uint32_t victim = m.PickVictim();
       if (victim == SegmentManager::kNoSegment ||
           m.free_slots() < m.VictimLiveBlocks(victim)) {
         break;
@@ -257,7 +265,7 @@ TEST(SegmentManagerTest, SeparateCleaningSegmentKeepsCopiesApart) {
   }
   m.WriteBlock(0);
   m.WriteBlock(1);
-  const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+  const std::uint32_t victim = m.PickVictim();
   ASSERT_NE(victim, SegmentManager::kNoSegment);
   m.CleanSegment(victim);  // relocates lbas 2, 3
   m.WriteBlock(20);        // fresh host write
@@ -283,7 +291,7 @@ TEST_P(SegmentManagerPropertyTest, RandomTrafficKeepsInvariants) {
   for (int i = 0; i < 4000; ++i) {
     // Keep a cleaning reserve so writes always have room.
     while (m.free_slots() <= m.blocks_per_segment() * 2) {
-      const std::uint32_t victim = m.PickVictim(CleaningPolicy::kGreedy);
+      const std::uint32_t victim = m.PickVictim();
       ASSERT_NE(victim, SegmentManager::kNoSegment);
       ASSERT_GE(m.free_slots(), m.VictimLiveBlocks(victim));
       m.CleanSegment(victim);

@@ -53,6 +53,19 @@ constexpr char kTinySpec[] =
     "replicas = 2\n"
     "scale = 0.05\n";
 
+// A policy-grid cross: 2 backends x 3 ftl policies at one utilization.  The
+// backend and ftl axes multiply the shard arithmetic exactly like the older
+// dimensions, and the per-point rows carry the policy columns, so a
+// sharded/merged run must stay byte-identical to a serial one.
+constexpr char kPolicyGridSpec[] =
+    "devices = intel-datasheet\n"
+    "workloads = synth\n"
+    "utilizations = 0.9\n"
+    "backends = average-cost, geometry\n"
+    "ftl = greedy, page_diff, fat_remap\n"
+    "seeds = 3\n"
+    "scale = 0.05\n";
+
 // Two points, one deterministically poisoned: capacity = 256k is far below
 // what the synth trace writes, so the flash-card point trips an invariant
 // and becomes an `_error` row while the magnetic-disk point completes.
@@ -325,6 +338,36 @@ TEST(WorkerTest, DrainsSpoolAndMatchesSerialRun) {
   Spool spool(root);
   EXPECT_EQ(spool.CountItems().done, 3u);
   EXPECT_EQ(MergedRowsJson(root), SerialRowsJson(kTinySpec));
+}
+
+TEST(WorkerTest, PolicyGridShardsMergeByteIdenticalToSerial) {
+  // The backends x ftl cross enumerates 6 points; 4 shards exercises the
+  // uneven-split arithmetic over the new dimensions.
+  std::string error;
+  const auto spec = ParseExperimentSpec(kPolicyGridSpec, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_EQ(GridSize(*spec), 6u);
+
+  const std::string root = FreshDir("workerpolicygrid");
+  std::filesystem::remove_all(root);
+  ASSERT_TRUE(Spool::Create(root, kPolicyGridSpec, "grid", 4, &error).has_value())
+      << error;
+
+  WorkerOptions options;
+  options.spool_root = root;
+  options.owner = 2;
+  const WorkerSummary summary = RunWorkerLoop(options);
+  EXPECT_EQ(summary.items, 4u);
+  EXPECT_EQ(summary.rows, 6u);
+  EXPECT_EQ(summary.error_rows, 0u);
+
+  const std::vector<std::string> merged = MergedRowsJson(root);
+  EXPECT_EQ(merged, SerialRowsJson(kPolicyGridSpec));
+  // The rows really carry the policy axes (the merge preserved them).
+  ASSERT_EQ(merged.size(), 6u);
+  EXPECT_NE(merged[0].find("\"ftl\":\"log\""), std::string::npos);
+  EXPECT_NE(merged[1].find("\"ftl\":\"page-diff\""), std::string::npos);
+  EXPECT_NE(merged[5].find("\"backend\":\"geometry\""), std::string::npos);
 }
 
 TEST(WorkerTest, KilledWorkerLeavesLeaseAndSuccessorResumes) {
