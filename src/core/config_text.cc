@@ -81,8 +81,12 @@ std::optional<bool> ParseBool(const std::string& raw) {
 }
 
 std::optional<DeviceSpec> DeviceByName(const std::string& name) {
+  // Same lowering rule as every other name table (NormalizeName): catalog
+  // names are canonical '-', lookups tolerate '_' , case, and stray spaces,
+  // so intel_datasheet and intel-datasheet resolve identically everywhere.
+  const std::string wanted = NormalizeName(name);
   for (const DeviceSpec& spec : AllDeviceSpecs()) {
-    if (spec.name == name) {
+    if (NormalizeName(spec.name) == wanted) {
       return spec;
     }
   }
@@ -208,6 +212,67 @@ bool ApplyConfigAssignment(SimConfig* config, const std::string& raw_key,
       return false;
     }
     config->export_ftl_metrics = *v;
+    return true;
+  }
+  if (key.rfind("nand.", 0) == 0) {
+    // NAND topology/timing overrides.  They refine an already-selected
+    // kNandSsd device, so `device = nand-...` must come first; anything else
+    // would silently edit fields no other device kind reads.
+    if (config->device.kind != DeviceKind::kNandSsd) {
+      SetError(error, "'" + key + "' requires a nand-ssd device (set device = " +
+                          "nand-chip|nand-ssd-4ch|nand-ssd-8ch first)");
+      return false;
+    }
+    NandTopology& nand = config->device.nand;
+    if (key == "nand.channels" || key == "nand.dies" || key == "nand.planes" ||
+        key == "nand.pages_per_block") {
+      const auto v = ParseDouble(value);
+      if (!v || *v < 1.0 || *v != static_cast<double>(static_cast<std::uint32_t>(*v))) {
+        SetError(error, "bad count '" + value + "' for " + key);
+        return false;
+      }
+      const std::uint32_t count = static_cast<std::uint32_t>(*v);
+      if (key == "nand.channels") {
+        nand.channels = count;
+      } else if (key == "nand.dies") {
+        nand.dies_per_channel = count;
+      } else if (key == "nand.planes") {
+        nand.planes_per_die = count;
+      } else {
+        nand.pages_per_block = count;
+      }
+    } else if (key == "nand.page_bytes") {
+      const auto size = ParseSize(value);
+      if (!size || *size == 0 || *size > (1u << 20)) {
+        SetError(error, "bad size '" + value + "' for " + key);
+        return false;
+      }
+      nand.page_bytes = static_cast<std::uint32_t>(*size);
+    } else if (key == "nand.read_us" || key == "nand.page_us" ||
+               key == "nand.program_us" || key == "nand.erase_ms" ||
+               key == "nand.channel_mbps") {
+      const auto v = ParseDouble(value);
+      if (!v || *v <= 0.0) {
+        SetError(error, "bad value '" + value + "' for " + key);
+        return false;
+      }
+      if (key == "nand.read_us" || key == "nand.page_us") {
+        nand.read_page_us = *v;
+      } else if (key == "nand.program_us") {
+        nand.program_page_us = *v;
+      } else if (key == "nand.erase_ms") {
+        nand.erase_block_ms = *v;
+      } else {
+        nand.channel_mbps = *v;
+      }
+    } else {
+      SetError(error, "unknown key '" + key + "'");
+      return false;
+    }
+    // The GC erase unit tracks the NAND erase block; ValidateDeviceSpec
+    // rejects a divergence, so keep them in lockstep here.
+    config->device.erase_segment_bytes = nand.block_bytes();
+    config->device.erase_ms_per_segment = nand.erase_block_ms;
     return true;
   }
   if (key == "fault.seed") {

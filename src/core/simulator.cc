@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/device/flash_card.h"
+#include "src/device/nand_ssd.h"
 #include "src/fault/fault.h"
 #include "src/trace/block_mapper.h"
 #include "src/trace/calibrated_workload.h"
@@ -138,6 +139,10 @@ SimResult RunSimulation(const TraceView& trace, const SimConfig& config) {
     }
     if (const auto* card = dynamic_cast<const FlashCard*>(&system.device())) {
       for (const auto& [at_us, fraction] : card->capacity_events()) {
+        result.capacity_timeline.emplace_back(SecFromUs(at_us), fraction);
+      }
+    } else if (const auto* ssd = dynamic_cast<const NandSsd*>(&system.device())) {
+      for (const auto& [at_us, fraction] : ssd->capacity_events()) {
         result.capacity_timeline.emplace_back(SecFromUs(at_us), fraction);
       }
     }

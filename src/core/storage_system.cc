@@ -4,6 +4,7 @@
 
 #include "src/device/flash_card.h"
 #include "src/device/flash_disk.h"
+#include "src/device/nand_ssd.h"
 #include "src/util/check.h"
 
 namespace mobisim {
@@ -59,6 +60,8 @@ StorageSystem::StorageSystem(const SimConfig& config, std::uint64_t trace_blocks
 
   if (auto* card = dynamic_cast<FlashCard*>(device_.get())) {
     card->Preload(trace_blocks, config.flash_utilization, config.interleave_prefill);
+  } else if (auto* ssd = dynamic_cast<NandSsd*>(device_.get())) {
+    ssd->Preload(trace_blocks, config.flash_utilization, config.interleave_prefill);
   } else if (auto* flash_disk = dynamic_cast<FlashDisk*>(device_.get())) {
     const std::uint64_t capacity_blocks = options.capacity_bytes / block_bytes;
     const auto live_blocks = static_cast<std::uint64_t>(

@@ -1,5 +1,7 @@
 #include "src/device/device_catalog.h"
 
+#include "src/util/check.h"
+
 namespace mobisim {
 
 const char* DeviceKindName(DeviceKind kind) {
@@ -10,8 +12,10 @@ const char* DeviceKindName(DeviceKind kind) {
       return "flash-disk";
     case DeviceKind::kFlashCard:
       return "flash-card";
+    case DeviceKind::kNandSsd:
+      return "nand-ssd";
   }
-  return "unknown";
+  MOBISIM_CHECK(false && "DeviceKindName: corrupt DeviceKind value");
 }
 
 DeviceSpec Cu140Datasheet() {
@@ -165,6 +169,66 @@ DeviceSpec IntelSeries2PlusDatasheet() {
   return s;
 }
 
+DeviceSpec NandChip() {
+  // One raw SLC NAND die: the degenerate topology (1 channel x 1 die x
+  // 1 plane) that exposes the cell timings with no internal parallelism.
+  // Cell timings are datasheet-class SLC numbers per Olivier et al.:
+  // tR = 25 us, tPROG = 200 us, tBERS = 1.5 ms, 2-KB pages, 64-page blocks,
+  // 40-MB/s channel bus.
+  DeviceSpec s;
+  s.name = "nand-chip";
+  s.kind = DeviceKind::kNandSsd;
+  s.read_overhead_ms = 0.02;   // controller command issue
+  s.write_overhead_ms = 0.02;
+  s.sequential_overhead_ms = 0.02;
+  s.nand.channels = 1;
+  s.nand.dies_per_channel = 1;
+  s.nand.planes_per_die = 1;
+  s.nand.page_bytes = 2048;
+  s.nand.pages_per_block = 64;
+  s.nand.read_page_us = 25.0;
+  s.nand.program_page_us = 200.0;
+  s.nand.erase_block_ms = 1.5;
+  s.nand.channel_mbps = 40.0;
+  s.erase_segment_bytes = s.nand.block_bytes();  // 128 KB
+  s.erase_ms_per_segment = s.nand.erase_block_ms;
+  s.endurance_cycles = 100000;
+  // Host-visible single-unit streaming rates, derived from the cell timings
+  // (page / (tR + transfer), page / (tPROG + transfer)); generic code paths
+  // (DescribeConfig, spec sanity checks) read these, the NAND timing model
+  // does not.
+  s.read_kbps = 26900.0;
+  s.write_kbps = 8000.0;
+  s.read_w = 0.08;
+  s.write_w = 0.12;
+  s.erase_w = 0.11;
+  s.idle_w = 0.01;
+  s.sleep_w = 0.001;
+  return s;
+}
+
+DeviceSpec NandSsd4ch() {
+  // Small SSD: 4 channels x 2 dies, same SLC cell timings as the raw chip.
+  // Striping across the 8 parallel units is what separates this preset from
+  // nand-chip in the uFLIP parallelism pattern.
+  DeviceSpec s = NandChip();
+  s.name = "nand-ssd-4ch";
+  s.nand.channels = 4;
+  s.nand.dies_per_channel = 2;
+  s.endurance_cycles = 10000;  // denser parts trade endurance for capacity
+  s.idle_w = 0.03;             // controller + DRAM map
+  return s;
+}
+
+DeviceSpec NandSsd8ch() {
+  // Wider SSD: 8 channels x 2 dies = 16 parallel units.
+  DeviceSpec s = NandSsd4ch();
+  s.name = "nand-ssd-8ch";
+  s.nand.channels = 8;
+  s.idle_w = 0.04;
+  return s;
+}
+
 MemorySpec NecDramSpec() {
   MemorySpec s;
   s.name = "nec-uPD4216160-dram";
@@ -195,7 +259,8 @@ std::vector<DeviceSpec> AllDeviceSpecs() {
   return {Cu140Measured(),      Cu140Datasheet(),    KittyhawkDatasheet(),
           Sdp10Measured(),      Sdp10Datasheet(),    Sdp5Datasheet(),
           Sdp5aDatasheet(),     IntelCardMeasured(), IntelCardDatasheet(),
-          IntelSeries2PlusDatasheet()};
+          IntelSeries2PlusDatasheet(), NandChip(),   NandSsd4ch(),
+          NandSsd8ch()};
 }
 
 }  // namespace mobisim

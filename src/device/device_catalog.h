@@ -35,6 +35,12 @@ DeviceSpec IntelCardDatasheet();
 // endurance (section 2 mentions these as the newer parts the authors could
 // not yet obtain).
 DeviceSpec IntelSeries2PlusDatasheet();
+// Modern parameterized NAND (DeviceKind::kNandSsd; Olivier et al. model).
+// One raw SLC die with no internal parallelism...
+DeviceSpec NandChip();
+// ...and two SSD-class topologies built from the same cell timings.
+DeviceSpec NandSsd4ch();   // 4 channels x 2 dies
+DeviceSpec NandSsd8ch();   // 8 channels x 2 dies
 
 // NEC uPD4216160 16-Mbit DRAM (buffer cache).
 MemorySpec NecDramSpec();

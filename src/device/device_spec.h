@@ -16,9 +16,32 @@ enum class DeviceKind : std::uint8_t {
   kMagneticDisk = 0,
   kFlashDisk = 1,   // block-interface flash disk emulator (SunDisk SDP)
   kFlashCard = 2,   // byte-interface flash memory card (Intel Series 2)
+  kNandSsd = 3,     // parameterized multi-channel NAND SSD (Olivier et al.)
 };
 
 const char* DeviceKindName(DeviceKind kind);
+
+// Channel/die/plane topology and raw NAND cell timings for kNandSsd devices
+// (unified performance-and-power model in the spirit of Olivier/Boukhobza/
+// Senn).  A parallel unit is one plane; units = channels * dies_per_channel *
+// planes_per_die.  Page program/read and block erase are asymmetric cell
+// operations; page transfers serialize on the owning channel's bus.
+struct NandTopology {
+  std::uint32_t channels = 0;        // 0 marks a non-NAND spec
+  std::uint32_t dies_per_channel = 1;
+  std::uint32_t planes_per_die = 1;
+  std::uint32_t page_bytes = 2048;
+  std::uint32_t pages_per_block = 64;  // erase block = page_bytes * pages_per_block
+  double read_page_us = 25.0;     // cell-to-register read (tR)
+  double program_page_us = 200.0; // register-to-cell program (tPROG)
+  double erase_block_ms = 1.5;    // whole-block erase (tBERS)
+  double channel_mbps = 40.0;     // per-channel bus bandwidth, Mbytes/s
+
+  std::uint32_t units() const {
+    return channels * dies_per_channel * planes_per_die;
+  }
+  std::uint32_t block_bytes() const { return page_bytes * pages_per_block; }
+};
 
 struct DeviceSpec {
   std::string name;
@@ -67,6 +90,9 @@ struct DeviceSpec {
   double idle_w = 0.0;    // spinning but not transferring (disk); powered (flash)
   double sleep_w = 0.0;   // spun down (disk only)
   double spinup_w = 0.0;
+
+  // -- NAND topology (kNandSsd only; nand.channels == 0 otherwise) -----------
+  NandTopology nand;
 };
 
 // DRAM buffer cache or battery-backed SRAM write buffer chip family.

@@ -15,7 +15,7 @@ FlashDisk::FlashDisk(const DeviceSpec& spec, const DeviceOptions& options)
               {"idle", spec.idle_w}}),
       injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kFlashDisk);
-  MOBISIM_CHECK(options.block_bytes > 0);
+  ValidateDeviceSpec(spec, options);
   const std::uint64_t blocks = options.capacity_bytes / options.block_bytes;
   MOBISIM_CHECK(blocks > 0);
   mapped_.assign(blocks, false);

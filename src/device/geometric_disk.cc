@@ -55,6 +55,7 @@ GeometricDisk::GeometricDisk(const DeviceSpec& spec, const DiskGeometry& geometr
               {"spinup", spec.spinup_w}}),
       injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kMagneticDisk);
+  ValidateDeviceSpec(spec, options);
   MOBISIM_CHECK(geometry.cylinders > 0 && geometry.heads > 0 &&
                 geometry.sectors_per_track > 0);
 }

@@ -16,6 +16,7 @@ MagneticDisk::MagneticDisk(const DeviceSpec& spec, const DeviceOptions& options)
               {"spinup", spec.spinup_w}}),
       injector_(options.fault) {
   MOBISIM_CHECK(spec.kind == DeviceKind::kMagneticDisk);
+  ValidateDeviceSpec(spec, options);
   MOBISIM_CHECK(options.spin_down_after_us >= 0);
   threshold_us_ = options.spin_down_after_us;
 }

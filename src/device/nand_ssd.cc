@@ -1,6 +1,7 @@
-#include "src/device/flash_card.h"
+#include "src/device/nand_ssd.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -14,7 +15,7 @@ SegmentManagerConfig MakeSegmentConfig(const DeviceSpec& spec,
                                        const FtlPolicy* policy) {
   SegmentManagerConfig seg;
   seg.capacity_bytes = options.capacity_bytes;
-  seg.segment_bytes = spec.erase_segment_bytes;
+  seg.segment_bytes = spec.erase_segment_bytes;  // == one NAND erase block
   seg.block_bytes = options.block_bytes;
   seg.separate_cleaning_segment =
       policy->RouteCleaningSeparately(options.separate_cleaning_segment);
@@ -25,7 +26,7 @@ SegmentManagerConfig MakeSegmentConfig(const DeviceSpec& spec,
 
 }  // namespace
 
-FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
+NandSsd::NandSsd(const DeviceSpec& spec, const DeviceOptions& options)
     : spec_(spec),
       options_(options),
       meter_({{"read", spec.read_w},
@@ -37,28 +38,36 @@ FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
       ftl_hooks_(policy_->kind() != FtlPolicyKind::kLogStructured),
       segments_(MakeSegmentConfig(spec, options, policy_.get())),
       injector_(options.fault) {
-  MOBISIM_CHECK(spec.kind == DeviceKind::kFlashCard);
+  MOBISIM_CHECK(spec.kind == DeviceKind::kNandSsd);
   ValidateDeviceSpec(spec, options);
-  // Keep the card's own slack arithmetic consistent with the routing the
-  // policy chose for the manager.
   options_.separate_cleaning_segment =
       policy_->RouteCleaningSeparately(options.separate_cleaning_segment);
-  const double copy_read_kbps =
-      spec.internal_read_kbps > 0.0 ? spec.internal_read_kbps : spec.read_kbps;
-  const double copy_write_kbps =
-      spec.internal_write_kbps > 0.0 ? spec.internal_write_kbps : spec.write_kbps;
-  internal_read_kbps_ = copy_read_kbps;
-  block_copy_us_ = TransferTimeUs(options.block_bytes, copy_read_kbps) +
-                   TransferTimeUs(options.block_bytes, copy_write_kbps);
-  erase_us_ = UsFromMs(spec.erase_ms_per_segment);
-  // Reboot after power loss rescans one summary block per segment to rebuild
-  // the block mapping.
+
+  const NandTopology& nand = spec.nand;
+  channels_ = nand.channels;
+  units_ = nand.units();
+  page_bytes_ = nand.page_bytes;
+  read_page_us_ = static_cast<SimTime>(std::llround(nand.read_page_us));
+  program_page_us_ = static_cast<SimTime>(std::llround(nand.program_page_us));
+  const double channel_kbps = nand.channel_mbps * 1024.0;
+  page_xfer_us_ = TransferTimeUs(page_bytes_, channel_kbps);
+  internal_read_kbps_ =
+      spec.internal_read_kbps > 0.0 ? spec.internal_read_kbps : channel_kbps;
+  // GC relocates one logical block via internal copyback: read the page(s)
+  // holding it and reprogram them, no bus crossing.
+  const SimTime pages_per_block = static_cast<SimTime>(PagesForBytes(options.block_bytes));
+  block_copy_us_ = pages_per_block * (read_page_us_ + program_page_us_);
+  erase_us_ = UsFromMs(nand.erase_block_ms);
+  // Reboot after power loss reads one summary page per erase block to
+  // rebuild the mapping.
   mount_scan_us_ = static_cast<SimTime>(segments_.segment_count()) *
-                   TransferTimeUs(options.block_bytes, copy_read_kbps);
+                   (read_page_us_ + page_xfer_us_);
+
+  unit_busy_.assign(units_, 0);
+  channel_busy_.assign(channels_, 0);
 
   const FaultConfig& fault = options.fault;
   if (fault.wear_out) {
-    // Sample each erase block's cycle budget around the datasheet endurance.
     Rng wear_rng(fault.seed, fault_streams::kWearBudget);
     const double mean = std::max(
         1.0, static_cast<double>(spec.endurance_cycles) * fault.endurance_scale);
@@ -69,8 +78,6 @@ FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
     }
   }
   if (fault.bad_block_rate > 0.0) {
-    // Factory bad blocks, capped so the card can still open active segments
-    // and run the cleaner.
     Rng bad_rng(fault.seed, fault_streams::kBadBlocks);
     constexpr std::uint32_t kMinGoodSegments = 4;
     std::uint32_t good = segments_.segment_count();
@@ -87,27 +94,37 @@ FlashCard::FlashCard(const DeviceSpec& spec, const DeviceOptions& options)
   }
 }
 
-double FlashCard::UsableFraction() const {
+double NandSsd::UsableFraction() const {
   return static_cast<double>(segments_.usable_blocks()) /
          static_cast<double>(segments_.total_blocks());
 }
 
-void FlashCard::Preload(std::uint64_t trace_blocks, double utilization, bool interleave) {
+std::uint64_t NandSsd::PagesForBytes(std::uint64_t bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  return (bytes + page_bytes_ - 1) / page_bytes_;
+}
+
+std::vector<std::uint32_t> NandSsd::StripeUnits(std::uint64_t pages) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(pages);
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    out.push_back(static_cast<std::uint32_t>((stripe_cursor_ + p) % units_));
+  }
+  return out;
+}
+
+void NandSsd::Preload(std::uint64_t trace_blocks, double utilization, bool interleave) {
   MOBISIM_CHECK(utilization > 0.0 && utilization < 1.0);
-  // Utilization is measured against *usable* capacity so a card with factory
-  // bad blocks preloads to the same effective fullness.
   const std::uint64_t target_live =
       static_cast<std::uint64_t>(utilization * static_cast<double>(segments_.usable_blocks()));
   MOBISIM_CHECK(trace_blocks <= target_live);
-  // Leave the cleaner room to operate: two free segments, three when
-  // cleaning copies get their own destination segment.
   const std::uint64_t slack_segments = options_.separate_cleaning_segment ? 3 : 2;
   MOBISIM_CHECK(target_live + slack_segments * segments_.blocks_per_segment() <=
                 segments_.usable_blocks());
   const std::uint64_t filler = target_live - trace_blocks;
   if (ftl_hooks_) {
-    // Policies with metadata pages (diff pages, map pages) claim lbas from
-    // the never-accessed logical window above the preloaded region.
     policy_->AttachMetaWindow(target_live, segments_.total_blocks() - target_live,
                               options_.block_bytes);
   }
@@ -117,8 +134,6 @@ void FlashCard::Preload(std::uint64_t trace_blocks, double utilization, bool int
     segments_.Preload(trace_blocks, filler);
     return;
   }
-  // Interleave filler among workload blocks with an integer error
-  // accumulator so each cleaned segment carries its share of cold data.
   std::uint64_t next_trace = 0;
   std::uint64_t next_filler = trace_blocks;
   std::int64_t error = 0;
@@ -136,22 +151,18 @@ void FlashCard::Preload(std::uint64_t trace_blocks, double utilization, bool int
   }
 }
 
-std::uint64_t FlashCard::AvailableSlots() const {
+std::uint64_t NandSsd::AvailableSlots() const {
   const std::uint64_t free = segments_.free_slots();
   return free > job_.reserved_slots ? free - job_.reserved_slots : 0;
 }
 
-bool FlashCard::CanAcceptHostBlock() const {
+bool NandSsd::CanAcceptHostBlock() const {
   if (AvailableSlots() == 0) {
     return false;
   }
   if (segments_.active_free_slots() > 0) {
     return true;
   }
-  // The active segment is full: writing means opening a fresh one.  The
-  // card keeps one erased segment aside for the cleaner, so the host may
-  // only take a segment when two are erased -- or when nothing is cleanable
-  // at all (the card will never need the reserve).
   if (segments_.erased_segment_count() >= 2) {
     return true;
   }
@@ -159,12 +170,10 @@ bool FlashCard::CanAcceptHostBlock() const {
          segments_.PickVictim() == SegmentManager::kNoSegment;
 }
 
-bool FlashCard::MaybeStartCleanJob() {
+bool NandSsd::MaybeStartCleanJob() {
   if (job_.active) {
     return true;
   }
-  // Keep at least one segment erased at all times (section 4.2): trigger as
-  // soon as the reserve is down to its last erased segment.
   if (segments_.erased_segment_count() > 1) {
     return false;
   }
@@ -174,10 +183,10 @@ bool FlashCard::MaybeStartCleanJob() {
   }
   const std::uint32_t live = segments_.VictimLiveBlocks(victim);
   if (segments_.free_slots() < live) {
-    return false;  // not enough room to relocate the victim's live data yet
+    return false;
   }
   if (segments_.erased_segment_count() == 0 && segments_.cleaning_free_slots() < live) {
-    return false;  // relocation would need a fresh segment that does not exist
+    return false;
   }
   job_.active = true;
   job_.victim = victim;
@@ -188,7 +197,7 @@ bool FlashCard::MaybeStartCleanJob() {
   return true;
 }
 
-void FlashCard::CompleteCleanJob() {
+void NandSsd::CompleteCleanJob() {
   MOBISIM_DCHECK(job_.active);
   const std::uint32_t victim = job_.victim;
   const std::uint32_t copied = segments_.CleanSegment(victim);
@@ -196,14 +205,12 @@ void FlashCard::CompleteCleanJob() {
   ++counters_.segment_erases;
   job_ = CleanJob{};
   if (segments_.segment_is_bad(victim)) {
-    // The victim hit its wear budget: its live data was just remapped away
-    // and the card shrank by one segment.
     counters_.remapped_blocks += copied;
     capacity_events_.emplace_back(accounted_until_, UsableFraction());
   }
 }
 
-SimTime FlashCard::FinishCleanJobNow() {
+SimTime NandSsd::FinishCleanJobNow() {
   MOBISIM_DCHECK(job_.active);
   const SimTime copy = job_.copy_remaining_us;
   const SimTime erase = job_.erase_remaining_us;
@@ -213,13 +220,11 @@ SimTime FlashCard::FinishCleanJobNow() {
   return copy + erase;
 }
 
-void FlashCard::AccountUntil(SimTime t) {
+void NandSsd::AccountUntil(SimTime t) {
   if (t <= accounted_until_) {
     return;
   }
   SimTime available = t - accounted_until_;
-  // Background cleaning consumes idle time; keep starting follow-up jobs
-  // while time remains and the erased reserve is low.
   while (available > 0 && options_.background_cleaning && MaybeStartCleanJob()) {
     if (job_.copy_remaining_us > 0) {
       const SimTime spent = std::min(available, job_.copy_remaining_us);
@@ -236,46 +241,85 @@ void FlashCard::AccountUntil(SimTime t) {
     if (job_.copy_remaining_us == 0 && job_.erase_remaining_us == 0) {
       CompleteCleanJob();
     } else {
-      break;  // ran out of idle time mid-job
+      break;
     }
   }
   meter_.Accumulate(kModeIdle, available);
   accounted_until_ = t;
 }
 
-void FlashCard::AdvanceTo(SimTime now) { AccountUntil(now); }
+void NandSsd::AdvanceTo(SimTime now) { AccountUntil(now); }
 
-SimTime FlashCard::ServiceRead(SimTime now, const BlockRecord& rec) {
+SimTime NandSsd::IssuePages(SimTime issue, std::uint64_t pages, bool is_read) {
+  SimTime done = issue;
+  SimTime bus_release = issue;
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    const std::uint32_t u = static_cast<std::uint32_t>((stripe_cursor_ + p) % units_);
+    const std::uint32_t c = u % channels_;
+    SimTime end;
+    if (is_read) {
+      // Cell read on the plane, then the payload crosses the channel bus.
+      const SimTime cell_start = std::max(issue, unit_busy_[u]);
+      const SimTime cell_end = cell_start + read_page_us_;
+      unit_busy_[u] = cell_end;
+      const SimTime bus_start = std::max(cell_end, channel_busy_[c]);
+      end = bus_start + page_xfer_us_;
+      channel_busy_[c] = end;
+      meter_.Accumulate(kModeRead, read_page_us_ + page_xfer_us_);
+    } else {
+      // Payload ships over the channel bus, then the plane programs it.
+      const SimTime bus_start = std::max(issue, channel_busy_[c]);
+      const SimTime bus_end = bus_start + page_xfer_us_;
+      channel_busy_[c] = bus_end;
+      bus_release = std::max(bus_release, bus_end);
+      const SimTime prog_start = std::max(bus_end, unit_busy_[u]);
+      end = prog_start + program_page_us_;
+      unit_busy_[u] = end;
+      meter_.Accumulate(kModeWrite, program_page_us_ + page_xfer_us_);
+    }
+    done = std::max(done, end);
+  }
+  stripe_cursor_ = static_cast<std::uint32_t>((stripe_cursor_ + pages) % units_);
+  // Writes release the controller once the payload has shipped, so queued
+  // writes pipeline their programs across dies; reads hold it only for the
+  // command issue (the per-channel bus queues serialize the returns).
+  cmd_busy_ = std::max(cmd_busy_, is_read ? issue : bus_release);
+  return done;
+}
+
+SimTime NandSsd::ServiceRead(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
-  const SimTime start = std::max(now, busy_until_);
+  const SimTime cmd_start = std::max(now, cmd_busy_);
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
   const double overhead_ms =
       rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.read_overhead_ms;
-  SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.read_kbps);
+  const SimTime overhead_us = UsFromMs(overhead_ms);
+  meter_.Accumulate(kModeRead, overhead_us);
+  const SimTime issue = cmd_start + overhead_us;
+  cmd_busy_ = issue;
+  SimTime done = IssuePages(issue, PagesForBytes(bytes), /*is_read=*/true);
   if (ftl_hooks_) {
-    // Merge-on-read: fold any outstanding policy state (page diffs) into the
-    // returned block, charged at the internal read rate.
     std::uint64_t extra = 0;
     for (std::uint32_t i = 0; i < rec.block_count; ++i) {
       extra += policy_->ExtraReadBytes(rec.lba + i);
     }
     if (extra > 0) {
-      service += TransferTimeUs(extra, internal_read_kbps_);
+      const SimTime merge_us = TransferTimeUs(extra, internal_read_kbps_);
+      meter_.Accumulate(kModeRead, merge_us);
+      done += merge_us;
     }
   }
-  meter_.Accumulate(kModeRead, service);
-  busy_until_ = start + service;
+  busy_until_ = std::max(busy_until_, done);
   accounted_until_ = std::max(accounted_until_, busy_until_);
   last_file_ = rec.file_id;
   ++counters_.reads;
   counters_.bytes_read += bytes;
-  return busy_until_ - now;
+  return done - now;
 }
 
-SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
+SimTime NandSsd::ServiceWrite(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
-  const SimTime start = std::max(now, busy_until_);
   SimTime stall = 0;
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
@@ -285,25 +329,16 @@ SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
   if (!ftl_hooks_) {
     for (std::uint32_t i = 0; i < rec.block_count; ++i) {
       if (options_.background_cleaning) {
-        // Bursts can arrive with no idle time in between; the job must be
-        // *started* here (reserving relocation room) even though it only makes
-        // progress during idle periods or synchronous stalls.
         MaybeStartCleanJob();
       }
       while (!CanAcceptHostBlock()) {
-        // No erased space for this block: the write waits for cleaning to
-        // yield an erased segment.  In on-demand mode this is where cleaning
-        // happens at all.
         const bool job_ready = MaybeStartCleanJob();
-        MOBISIM_CHECK(job_ready && "flash card wedged: no free space and nothing cleanable");
+        MOBISIM_CHECK(job_ready && "nand ssd wedged: no free space and nothing cleanable");
         stall += FinishCleanJobNow();
       }
       segments_.WriteBlock(rec.lba + i);
     }
   } else {
-    // The policy decides what each host block physically does: which log
-    // appends happen (the block, a diff page, a map page — possibly none)
-    // and what transfer volumes to charge.
     programmed = 0;
     for (std::uint32_t i = 0; i < rec.block_count; ++i) {
       const std::uint64_t lba = rec.lba + i;
@@ -318,7 +353,7 @@ SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
         while (!CanAcceptHostBlock()) {
           const bool job_ready = MaybeStartCleanJob();
           MOBISIM_CHECK(job_ready &&
-                        "flash card wedged: no free space and nothing cleanable");
+                        "nand ssd wedged: no free space and nothing cleanable");
           stall += FinishCleanJobNow();
         }
         segments_.WriteBlock(plan.appends[k]);
@@ -326,8 +361,6 @@ SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
     }
   }
   if (!options_.background_cleaning) {
-    // On-demand mode also replenishes the reserve synchronously once the
-    // erased reserve is exhausted, charging the triggering write.
     while (segments_.erased_segment_count() <= 1 && MaybeStartCleanJob()) {
       stall += FinishCleanJobNow();
     }
@@ -339,44 +372,49 @@ SimTime FlashCard::ServiceWrite(SimTime now, const BlockRecord& rec) {
 
   const double overhead_ms =
       rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.write_overhead_ms;
-  SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(programmed, spec_.write_kbps);
-  meter_.Accumulate(kModeWrite, service);
+  const SimTime overhead_us = UsFromMs(overhead_ms);
+  meter_.Accumulate(kModeWrite, overhead_us);
+  // A synchronous cleaning stall blocks the whole device before the command
+  // can even issue.
+  const SimTime issue = std::max(now, cmd_busy_) + stall + overhead_us;
+  cmd_busy_ = issue;
+  SimTime done = IssuePages(issue, PagesForBytes(programmed), /*is_read=*/false);
   if (merge_reads > 0) {
-    // Diff-chain merges read the base page and its diffs back internally
-    // before reprogramming.
     const SimTime merge_us = TransferTimeUs(merge_reads, internal_read_kbps_);
     meter_.Accumulate(kModeRead, merge_us);
-    service += merge_us;
+    done += merge_us;
   }
-  busy_until_ = start + stall + service;
+  busy_until_ = std::max(busy_until_, done);
   accounted_until_ = std::max(accounted_until_, busy_until_);
   last_file_ = rec.file_id;
   ++counters_.writes;
   counters_.bytes_written += bytes;
-  return busy_until_ - now;
+  return done - now;
 }
 
-SimTime FlashCard::FailedWrite(SimTime now, const BlockRecord& rec) {
-  // A failed attempt pays bus overhead and programming time but appends
-  // nothing to the log: no slots consumed, no cleaning triggered, no stall.
-  // A retry therefore replays the identical mapping update.
+SimTime NandSsd::FailedWrite(SimTime now, const BlockRecord& rec) {
+  // The attempt ships its payload and programs pages but commits no mapping
+  // update: no slots consumed, no cleaning, no stall; a retry replays the
+  // identical update.
   AccountUntil(now);
-  const SimTime start = std::max(now, busy_until_);
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(rec.block_count) * options_.block_bytes;
   const double overhead_ms =
       rec.file_id == last_file_ ? spec_.sequential_overhead_ms : spec_.write_overhead_ms;
-  const SimTime service = UsFromMs(overhead_ms) + TransferTimeUs(bytes, spec_.write_kbps);
-  meter_.Accumulate(kModeWrite, service);
-  busy_until_ = start + service;
+  const SimTime overhead_us = UsFromMs(overhead_ms);
+  meter_.Accumulate(kModeWrite, overhead_us);
+  const SimTime issue = std::max(now, cmd_busy_) + overhead_us;
+  cmd_busy_ = issue;
+  const SimTime done = IssuePages(issue, PagesForBytes(bytes), /*is_read=*/false);
+  busy_until_ = std::max(busy_until_, done);
   accounted_until_ = std::max(accounted_until_, busy_until_);
   last_file_ = rec.file_id;
   ++counters_.writes;
   counters_.bytes_written += bytes;
-  return busy_until_ - now;
+  return done - now;
 }
 
-IoResult FlashCard::ReadOp(SimTime now, const BlockRecord& rec) {
+IoResult NandSsd::ReadOp(SimTime now, const BlockRecord& rec) {
   // Reads mutate no logical state, so the error draw can follow the service.
   const SimTime t = ServiceRead(now, rec);
   if (injector_.NextError()) {
@@ -386,7 +424,7 @@ IoResult FlashCard::ReadOp(SimTime now, const BlockRecord& rec) {
   return {t, IoStatus::kOk};
 }
 
-IoResult FlashCard::WriteOp(SimTime now, const BlockRecord& rec) {
+IoResult NandSsd::WriteOp(SimTime now, const BlockRecord& rec) {
   // Writes mutate the log, so the error is drawn *before* committing.
   if (injector_.NextError()) {
     ++counters_.transient_errors;
@@ -395,33 +433,36 @@ IoResult FlashCard::WriteOp(SimTime now, const BlockRecord& rec) {
   return {ServiceWrite(now, rec), IoStatus::kOk};
 }
 
-SimTime FlashCard::PowerLoss(SimTime now) {
+SimTime NandSsd::PowerLoss(SimTime now) {
   AccountUntil(now);
+  // In-flight cell operations and transfers are abandoned.
   busy_until_ = std::min(busy_until_, now);
-  // Reboot rescans one summary block per segment to rebuild the mapping.
+  cmd_busy_ = std::min(cmd_busy_, now);
+  for (SimTime& t : unit_busy_) {
+    t = std::min(t, now);
+  }
+  for (SimTime& t : channel_busy_) {
+    t = std::min(t, now);
+  }
   SimTime recovery = mount_scan_us_;
   meter_.Accumulate(kModeRead, mount_scan_us_);
   if (job_.active) {
     if (job_.copy_remaining_us == 0) {
-      // Every live copy was durable before power failed; only the erase was
-      // interrupted.  Recovery re-issues it and commits the job.
       recovery += erase_us_;
       meter_.Accumulate(kModeErase, erase_us_);
       CompleteCleanJob();
     } else {
-      // Interrupted mid-copy.  Partial copies are superseded out-of-place
-      // data the mount scan ignores; the mapping is unchanged, so cleaning
-      // simply replays the victim later.
       job_ = CleanJob{};
     }
   }
   busy_until_ = now + recovery;
+  cmd_busy_ = busy_until_;
   accounted_until_ = std::max(accounted_until_, busy_until_);
   last_file_ = ~std::uint32_t{0};
   return recovery;
 }
 
-void FlashCard::Trim(SimTime now, const BlockRecord& rec) {
+void NandSsd::Trim(SimTime now, const BlockRecord& rec) {
   AccountUntil(now);
   for (std::uint32_t i = 0; i < rec.block_count; ++i) {
     if (ftl_hooks_) {
@@ -431,9 +472,9 @@ void FlashCard::Trim(SimTime now, const BlockRecord& rec) {
   }
 }
 
-void FlashCard::Finish(SimTime end) { AccountUntil(std::max(end, busy_until_)); }
+void NandSsd::Finish(SimTime end) { AccountUntil(std::max(end, busy_until_)); }
 
-const DeviceCounters& FlashCard::counters() const {
+const DeviceCounters& NandSsd::counters() const {
   counters_.segment_erase_stats = segments_.EraseCountStats();
   counters_.bad_segments = segments_.bad_segment_count();
   counters_.usable_blocks = segments_.usable_blocks();

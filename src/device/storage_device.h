@@ -138,6 +138,13 @@ struct DeviceOptions {
   FaultConfig fault;
 };
 
+// Rejects malformed device configurations up front instead of letting them
+// surface as inf/NaN service times deep inside a sweep.  Throws SimError
+// naming the offending field (zero/negative bandwidths, zero block or erase
+// sizes, inconsistent NAND topology).  Every device constructor calls this,
+// so hand-built devices get the same protection as CreateDevice callers.
+void ValidateDeviceSpec(const DeviceSpec& spec, const DeviceOptions& options);
+
 std::unique_ptr<StorageDevice> CreateDevice(const DeviceSpec& spec, const DeviceOptions& options);
 
 }  // namespace mobisim

@@ -1,0 +1,75 @@
+// uFLIP micro-pattern runner (Bouganim/Jonsson/Bonnet).
+//
+// uFLIP validates a flash device model the way the original benchmark
+// validated real devices: submit canonical IO patterns -- sequential, random,
+// and strided reads/writes, a request-granularity sweep, and partitioned
+// random writes -- and check the response-time *shapes*, not absolute
+// numbers: random writes cost more than sequential writes, sub-page requests
+// cost the same as one page (the granularity knee), and striped throughput
+// saturates with channel count.
+//
+// The runner drives any StorageDevice closed-loop (each request issues when
+// the previous one completes) so the same patterns also run against the 1994
+// catalog for cross-device comparisons.  bench_uflip and the unit tests
+// share this code: the bench emits the measured curves, the tests assert the
+// shapes.
+#ifndef MOBISIM_SRC_DEVICE_UFLIP_H_
+#define MOBISIM_SRC_DEVICE_UFLIP_H_
+
+#include <cstdint>
+
+#include "src/device/storage_device.h"
+#include "src/util/sim_time.h"
+
+namespace mobisim {
+
+enum class UflipPattern : std::uint8_t {
+  kSequentialRead = 0,
+  kRandomRead,
+  kStridedRead,
+  kSequentialWrite,
+  kRandomWrite,
+  kStridedWrite,
+  // Random choice among `partitions` sequential cursors (uFLIP's
+  // partitioning pattern: degrades from sequential toward random as the
+  // partition count grows).
+  kPartitionedWrite,
+};
+
+const char* UflipPatternName(UflipPattern pattern);
+
+struct UflipParams {
+  std::uint64_t ops = 256;           // requests per run
+  std::uint32_t blocks_per_op = 4;   // request size, logical blocks
+  // Address window [0, region_blocks) the pattern runs over; must be
+  // preloaded (mapped) on log-structured devices.
+  std::uint64_t region_blocks = 1024;
+  std::uint32_t stride_blocks = 64;  // gap between strided requests
+  std::uint32_t partitions = 4;      // cursors for kPartitionedWrite
+  // Idle gap between requests on top of the closed loop (0 = saturated).
+  SimTime pause_us = 0;
+  std::uint64_t seed = 42;
+  // Logical block size the device was built with (DeviceOptions::block_bytes);
+  // only used to report byte counts and throughput.
+  std::uint32_t block_bytes = 1024;
+};
+
+struct UflipStats {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  SimTime elapsed_us = 0;        // first issue to last completion, pauses included
+  double mean_response_us = 0.0;
+  SimTime max_response_us = 0;
+  double throughput_kbps = 0.0;  // bytes / elapsed (0 when elapsed == 0)
+};
+
+// Runs `params.ops` requests of `pattern` against `device` starting at
+// `start_us` and returns the aggregate response statistics.  The device's
+// state advances; run patterns on a fresh device (or deliberately reuse one
+// to study history effects, as uFLIP does).
+UflipStats RunUflipPattern(StorageDevice& device, UflipPattern pattern,
+                           const UflipParams& params, SimTime start_us = 0);
+
+}  // namespace mobisim
+
+#endif  // MOBISIM_SRC_DEVICE_UFLIP_H_

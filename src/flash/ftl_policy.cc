@@ -7,8 +7,6 @@
 
 namespace mobisim {
 
-namespace {
-
 // Canonical names use '-'; parsing tolerates '_' and case so spec files may
 // write cost_benefit / PAGE_DIFF etc.  Unknown names stay rejected.
 std::string NormalizeName(const std::string& name) {
@@ -24,8 +22,6 @@ std::string NormalizeName(const std::string& name) {
   }
   return v;
 }
-
-}  // namespace
 
 const char* CleaningPolicyName(CleaningPolicy policy) {
   switch (policy) {

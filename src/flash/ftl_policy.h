@@ -58,6 +58,11 @@ enum class FtlPolicyKind : std::uint8_t {
   kFatRemap = 2,
 };
 
+// The single name-lowering rule every by-name lookup (cleaners, FTL kinds,
+// devices, backends) routes through: strips whitespace, maps '_' to '-',
+// lowercases.  Canonical names use '-'; spec files may write either.
+std::string NormalizeName(const std::string& name);
+
 const char* FtlPolicyKindName(FtlPolicyKind kind);
 // Strict inverse of FtlPolicyKindName; accepts '_' for '-'.  nullopt on
 // anything else.

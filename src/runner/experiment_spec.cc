@@ -278,10 +278,8 @@ bool ApplySpecAssignment(ExperimentSpec* spec, const std::string& raw_key,
   if (key == "backends") {
     spec->backends.clear();
     for (const std::string& item : SplitList(value)) {
-      std::string v = item;
-      std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
-        return c == '_' ? '-' : static_cast<char>(std::tolower(c));
-      });
+      // Same lowering rule as every other name axis.
+      const std::string v = NormalizeName(item);
       if (v != "average-cost" && v != "geometry") {
         SetError(error, "bad backend '" + item + "' (want average-cost|geometry)");
         return false;
@@ -448,6 +446,21 @@ void AppendDeviceFields(std::ostringstream& out, const std::string& prefix,
       << prefix << ".idle_w = " << CanonNumber(d.idle_w) << "\n"
       << prefix << ".sleep_w = " << CanonNumber(d.sleep_w) << "\n"
       << prefix << ".spinup_w = " << CanonNumber(d.spinup_w) << "\n";
+  // NAND topology block only for NAND devices: no pre-existing spec carries
+  // one, so every historical fingerprint is unchanged.
+  if (d.kind == DeviceKind::kNandSsd) {
+    out << prefix << ".nand.channels = " << d.nand.channels << "\n"
+        << prefix << ".nand.dies = " << d.nand.dies_per_channel << "\n"
+        << prefix << ".nand.planes = " << d.nand.planes_per_die << "\n"
+        << prefix << ".nand.page_bytes = " << d.nand.page_bytes << "\n"
+        << prefix << ".nand.pages_per_block = " << d.nand.pages_per_block << "\n"
+        << prefix << ".nand.read_us = " << CanonNumber(d.nand.read_page_us) << "\n"
+        << prefix << ".nand.program_us = " << CanonNumber(d.nand.program_page_us)
+        << "\n"
+        << prefix << ".nand.erase_ms = " << CanonNumber(d.nand.erase_block_ms) << "\n"
+        << prefix << ".nand.channel_mbps = " << CanonNumber(d.nand.channel_mbps)
+        << "\n";
+  }
 }
 
 }  // namespace

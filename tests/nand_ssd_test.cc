@@ -1,0 +1,344 @@
+// The NAND/SSD device tier: striping arithmetic, the uFLIP response shapes
+// the timing model must reproduce, device-spec validation, name-normalized
+// catalog lookups, and a mixed-traffic property sweep over the full catalog.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/config_text.h"
+#include "src/device/device_catalog.h"
+#include "src/device/flash_card.h"
+#include "src/device/flash_disk.h"
+#include "src/device/nand_ssd.h"
+#include "src/device/uflip.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace mobisim {
+namespace {
+
+constexpr std::uint64_t kCapacity = 4 * 1024 * 1024;  // 32 erase blocks
+
+std::unique_ptr<NandSsd> MakeNand(const DeviceSpec& spec,
+                                  std::uint64_t region_blocks,
+                                  double utilization) {
+  DeviceOptions options;
+  options.block_bytes = 1024;
+  options.capacity_bytes = kCapacity;
+  auto device = std::make_unique<NandSsd>(spec, options);
+  device->Preload(region_blocks, utilization, /*interleave=*/false);
+  return device;
+}
+
+UflipStats RunPattern(const DeviceSpec& spec, UflipPattern pattern,
+                      std::uint32_t blocks_per_op, double utilization,
+                      std::uint32_t partitions = 4) {
+  UflipParams params;
+  params.ops = 256;
+  params.blocks_per_op = blocks_per_op;
+  params.region_blocks = 2048;
+  params.partitions = partitions;
+  auto device = MakeNand(spec, params.region_blocks, utilization);
+  return RunUflipPattern(*device, pattern, params);
+}
+
+// ---- Striping arithmetic ---------------------------------------------------
+
+TEST(NandSsdTest, TopologyCounts) {
+  auto chip = MakeNand(NandChip(), 1024, 0.5);
+  EXPECT_EQ(chip->channels(), 1u);
+  EXPECT_EQ(chip->units(), 1u);
+
+  auto ssd = MakeNand(NandSsd4ch(), 1024, 0.5);
+  EXPECT_EQ(ssd->channels(), 4u);
+  EXPECT_EQ(ssd->units(), 8u);  // 4 channels x 2 dies x 1 plane
+
+  auto wide = MakeNand(NandSsd8ch(), 1024, 0.5);
+  EXPECT_EQ(wide->channels(), 8u);
+  EXPECT_EQ(wide->units(), 16u);
+}
+
+TEST(NandSsdTest, PagesForBytesRoundsUpToWholePages) {
+  auto ssd = MakeNand(NandSsd4ch(), 1024, 0.5);  // 2-KB pages
+  EXPECT_EQ(ssd->PagesForBytes(0), 0u);
+  EXPECT_EQ(ssd->PagesForBytes(1), 1u);
+  EXPECT_EQ(ssd->PagesForBytes(2048), 1u);
+  EXPECT_EQ(ssd->PagesForBytes(2049), 2u);
+  EXPECT_EQ(ssd->PagesForBytes(4096), 2u);
+  EXPECT_EQ(ssd->PagesForBytes(16384), 8u);
+}
+
+TEST(NandSsdTest, StripingIsRoundRobinAcrossDistinctChannels) {
+  auto ssd = MakeNand(NandSsd4ch(), 1024, 0.5);
+  const std::vector<std::uint32_t> units = ssd->StripeUnits(8);
+  ASSERT_EQ(units.size(), 8u);
+  for (std::uint32_t u = 0; u < 8; ++u) {
+    EXPECT_EQ(units[u], u);
+  }
+  // Unit numbering is channel-major: consecutive pages land on distinct
+  // channels until every channel is in flight.
+  EXPECT_EQ(ssd->ChannelOf(units[0]), 0u);
+  EXPECT_EQ(ssd->ChannelOf(units[1]), 1u);
+  EXPECT_EQ(ssd->ChannelOf(units[2]), 2u);
+  EXPECT_EQ(ssd->ChannelOf(units[3]), 3u);
+  EXPECT_EQ(ssd->ChannelOf(units[4]), 0u);
+
+  // The cursor advances with issued pages and wraps modulo the unit count.
+  BlockRecord rec;
+  rec.time_us = 0;
+  rec.op = OpType::kWrite;
+  rec.lba = 0;
+  rec.block_count = 6;  // 3 pages
+  rec.file_id = 1;
+  ssd->Write(0, rec);
+  const std::vector<std::uint32_t> next = ssd->StripeUnits(8);
+  EXPECT_EQ(next[0], 3u);
+  EXPECT_EQ(next[7], (3u + 7u) % 8u);
+}
+
+// ---- uFLIP response shapes -------------------------------------------------
+
+TEST(NandSsdTest, UflipRandomWritePenalty) {
+  // High utilization so cleaning engages: random overwrites scatter their
+  // invalidations and force live-block copies; sequential overwrites leave
+  // fully-dead victims behind.  Reads must not share the asymmetry.
+  const UflipStats seq_w =
+      RunPattern(NandSsd4ch(), UflipPattern::kSequentialWrite, 4, 0.9);
+  const UflipStats rand_w =
+      RunPattern(NandSsd4ch(), UflipPattern::kRandomWrite, 4, 0.9);
+  EXPECT_GT(rand_w.mean_response_us, 1.25 * seq_w.mean_response_us);
+
+  const UflipStats seq_r =
+      RunPattern(NandSsd4ch(), UflipPattern::kSequentialRead, 4, 0.9);
+  const UflipStats rand_r =
+      RunPattern(NandSsd4ch(), UflipPattern::kRandomRead, 4, 0.9);
+  EXPECT_LT(rand_r.mean_response_us, 1.5 * seq_r.mean_response_us);
+}
+
+TEST(NandSsdTest, UflipGranularityKneeAtPageSize) {
+  // On the single-unit chip at low utilization the cost is pure cell timing:
+  // half-page and full-page writes both program one page, and the cost
+  // climbs once a request spans pages.
+  const double half_page =
+      RunPattern(NandChip(), UflipPattern::kSequentialWrite, 1, 0.5)
+          .mean_response_us;
+  const double one_page =
+      RunPattern(NandChip(), UflipPattern::kSequentialWrite, 2, 0.5)
+          .mean_response_us;
+  const double two_pages =
+      RunPattern(NandChip(), UflipPattern::kSequentialWrite, 4, 0.5)
+          .mean_response_us;
+  EXPECT_DOUBLE_EQ(half_page, one_page);
+  EXPECT_GT(two_pages, 1.4 * one_page);
+}
+
+TEST(NandSsdTest, UflipParallelismScalesThenSaturates) {
+  // The same 16-page read stream across channel counts (dies fixed at 2):
+  // throughput must grow monotonically and with diminishing returns.
+  std::vector<double> tp;
+  for (const std::uint32_t channels : {1u, 4u, 8u, 16u}) {
+    DeviceSpec spec = NandSsd4ch();
+    spec.name = "nand-ssd-" + std::to_string(channels) + "ch";
+    spec.nand.channels = channels;
+    tp.push_back(RunPattern(spec, UflipPattern::kSequentialRead, 32, 0.5)
+                     .throughput_kbps);
+  }
+  EXPECT_GT(tp[1], 2.0 * tp[0]);  // striping pays while pages queue
+  EXPECT_GT(tp[2], tp[1]);
+  EXPECT_GT(tp[3], tp[2]);
+  EXPECT_LT(tp[3] / tp[2], tp[1] / tp[0]);  // ...and saturates
+}
+
+TEST(NandSsdTest, UflipPartitionsDegradeTowardRandom) {
+  const double p1 =
+      RunPattern(NandSsd4ch(), UflipPattern::kPartitionedWrite, 4, 0.9, 1)
+          .mean_response_us;
+  const double p16 =
+      RunPattern(NandSsd4ch(), UflipPattern::kPartitionedWrite, 4, 0.9, 16)
+          .mean_response_us;
+  EXPECT_GT(p16, p1);
+}
+
+// ---- Spec validation -------------------------------------------------------
+
+std::string ValidationError(const DeviceSpec& spec, const DeviceOptions& options) {
+  try {
+    ValidateDeviceSpec(spec, options);
+  } catch (const SimError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ValidateDeviceSpecTest, AcceptsEveryCatalogSpec) {
+  DeviceOptions options;
+  for (const DeviceSpec& spec : AllDeviceSpecs()) {
+    EXPECT_EQ(ValidationError(spec, options), "") << spec.name;
+  }
+}
+
+TEST(ValidateDeviceSpecTest, NamesTheOffendingField) {
+  DeviceOptions options;
+
+  DeviceSpec spec = IntelCardDatasheet();
+  spec.read_kbps = 0.0;
+  EXPECT_NE(ValidationError(spec, options).find("read_kbps"), std::string::npos);
+
+  spec = IntelCardDatasheet();
+  spec.write_kbps = -1.0;
+  EXPECT_NE(ValidationError(spec, options).find("write_kbps"), std::string::npos);
+
+  spec = IntelCardDatasheet();
+  spec.erase_segment_bytes = 0;
+  EXPECT_NE(ValidationError(spec, options).find("erase_segment_bytes"),
+            std::string::npos);
+
+  spec = Cu140Datasheet();
+  spec.read_overhead_ms = std::nan("");
+  EXPECT_NE(ValidationError(spec, options).find("read_overhead_ms"),
+            std::string::npos);
+
+  options.block_bytes = 0;
+  EXPECT_NE(ValidationError(Cu140Datasheet(), options).find("block_bytes"),
+            std::string::npos);
+  options.block_bytes = 1024;
+
+  // Disks do not erase: a zero segment size must only be rejected for
+  // flash-class devices.
+  spec = Cu140Datasheet();
+  spec.erase_segment_bytes = 0;
+  EXPECT_EQ(ValidationError(spec, options), "");
+}
+
+TEST(ValidateDeviceSpecTest, NandTopologyFieldsAreChecked) {
+  DeviceOptions options;
+
+  DeviceSpec spec = NandSsd4ch();
+  spec.nand.channels = 0;
+  EXPECT_NE(ValidationError(spec, options).find("nand.channels"), std::string::npos);
+
+  spec = NandSsd4ch();
+  spec.nand.read_page_us = 0.0;
+  EXPECT_NE(ValidationError(spec, options).find("nand.read_us"), std::string::npos);
+
+  spec = NandSsd4ch();
+  spec.nand.channel_mbps = -40.0;
+  EXPECT_NE(ValidationError(spec, options).find("nand.channel_mbps"),
+            std::string::npos);
+
+  // The GC erase unit must stay equal to the NAND erase block.
+  spec = NandSsd4ch();
+  spec.nand.pages_per_block = 32;  // halves block_bytes() without updating it
+  EXPECT_NE(ValidationError(spec, options).find("erase_segment_bytes"),
+            std::string::npos);
+}
+
+TEST(ValidateDeviceSpecTest, ConstructorsRejectMalformedSpecs) {
+  DeviceOptions options;
+  options.capacity_bytes = kCapacity;
+  DeviceSpec spec = NandSsd4ch();
+  spec.nand.dies_per_channel = 0;
+  EXPECT_THROW(NandSsd(spec, options), SimError);
+
+  DeviceSpec card = IntelCardDatasheet();
+  card.erase_ms_per_segment = 0.0;
+  EXPECT_THROW(FlashCard(card, options), SimError);
+}
+
+// ---- Name-normalized catalog lookups ---------------------------------------
+
+TEST(DeviceLookupTest, UnderscoreDashAndCaseResolveIdentically) {
+  const auto canonical = DeviceByName("nand-ssd-4ch");
+  ASSERT_TRUE(canonical.has_value());
+  for (const char* alias : {"nand_ssd_4ch", "NAND-SSD-4CH", " nand-ssd-4ch "}) {
+    const auto spec = DeviceByName(alias);
+    ASSERT_TRUE(spec.has_value()) << alias;
+    EXPECT_EQ(spec->name, canonical->name) << alias;
+  }
+  EXPECT_TRUE(DeviceByName("intel_datasheet").has_value());
+  EXPECT_TRUE(DeviceByName("intel-datasheet").has_value());
+  EXPECT_FALSE(DeviceByName("no-such-device").has_value());
+}
+
+TEST(DeviceLookupTest, EveryCatalogSpecHasAKindName) {
+  for (const DeviceSpec& spec : AllDeviceSpecs()) {
+    EXPECT_STRNE(DeviceKindName(spec.kind), "") << spec.name;
+  }
+  EXPECT_STREQ(DeviceKindName(DeviceKind::kNandSsd), "nand-ssd");
+}
+
+// ---- Catalog-wide mixed-traffic property sweep -----------------------------
+
+std::unique_ptr<StorageDevice> MakeAnyDevice(const DeviceSpec& spec) {
+  DeviceOptions options;
+  options.block_bytes = 1024;
+  options.capacity_bytes = 8 * 1024 * 1024;
+  std::unique_ptr<StorageDevice> device = CreateDevice(spec, options);
+  if (auto* card = dynamic_cast<FlashCard*>(device.get())) {
+    card->Preload(1024, 0.7);
+  } else if (auto* ssd = dynamic_cast<NandSsd*>(device.get())) {
+    ssd->Preload(1024, 0.7);
+  } else if (auto* disk = dynamic_cast<FlashDisk*>(device.get())) {
+    disk->Preload(1024);
+  }
+  return device;
+}
+
+TEST(DeviceCatalogPropertyTest, MixedTrafficInvariantsHoldForEverySpec) {
+  for (const DeviceSpec& spec : AllDeviceSpecs()) {
+    SCOPED_TRACE(spec.name);
+    auto device = MakeAnyDevice(spec);
+    Rng rng(29);
+    SimTime now = 0;
+    SimTime last_busy = 0;
+    double last_joules = 0.0;
+
+    for (int i = 0; i < 400; ++i) {
+      now += static_cast<SimTime>(rng.Exponential(150000.0));
+      BlockRecord rec;
+      rec.time_us = now;
+      rec.block_count = static_cast<std::uint32_t>(rng.UniformInt(1, 8));
+      rec.lba = static_cast<std::uint64_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(1024 - rec.block_count)));
+      rec.file_id = static_cast<std::uint32_t>(rng.UniformInt(0, 20));
+
+      const double roll = rng.NextDouble();
+      SimTime response = 0;
+      if (roll < 0.45) {
+        rec.op = OpType::kRead;
+        response = device->Read(now, rec);
+      } else if (roll < 0.9) {
+        rec.op = OpType::kWrite;
+        response = device->Write(now, rec);
+      } else {
+        rec.op = OpType::kErase;
+        device->Trim(now, rec);
+      }
+
+      // Finite, non-negative service times; trims are instantaneous.
+      ASSERT_GE(response, 0);
+      ASSERT_LT(response, UsFromSec(600));
+
+      // busy_until never regresses (only PowerLoss may truncate it) and
+      // accounting only ever adds energy.
+      ASSERT_GE(device->busy_until(), last_busy);
+      last_busy = device->busy_until();
+      device->AdvanceTo(now);
+      const double joules = device->energy().total_joules();
+      ASSERT_GE(joules, last_joules);
+      last_joules = joules;
+    }
+
+    device->Finish(std::max(now, device->busy_until()));
+    EXPECT_GE(device->energy().total_joules(), last_joules);
+    EXPECT_GT(device->counters().reads, 0u);
+    EXPECT_GT(device->counters().writes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mobisim
